@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and reports
+its wall-clock cost via pytest-benchmark.  The regenerated rows/series are
+printed so that ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+artefact-regeneration command; EXPERIMENTS.md records one such run.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+try:  # pragma: no cover - environment dependent
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))

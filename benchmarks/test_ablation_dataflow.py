@@ -1,0 +1,64 @@
+"""Ablation: window sparsity and the input-stationary dataflow.
+
+Two questions from DESIGN.md's design-decision list:
+
+* how much of SWAT's speedup comes from the window sparsity itself — answered
+  by comparing against the dense-attention FPGA baseline built from the same
+  attention cores;
+* how the pipeline stays balanced as the window width and head dimension vary
+  — answered by sweeping the design parameters and reporting the initiation
+  interval.
+"""
+
+from repro.analysis.report import Table
+from repro.baselines.dense_fpga import DenseFPGABaseline
+from repro.core.config import SWATConfig
+from repro.core.pipeline import SWATPipelineModel
+from repro.core.simulator import SWATSimulator
+
+
+def _sparsity_ablation(seq_lens=(1024, 4096, 16384)):
+    swat = SWATSimulator(SWATConfig.longformer())
+    dense = DenseFPGABaseline(SWATConfig.longformer())
+    table = Table(
+        title="Ablation: window sparsity vs dense attention on the same core array",
+        columns=["input_length", "SWAT ms", "dense-FPGA ms", "speedup"],
+    )
+    for seq_len in seq_lens:
+        swat_ms = swat.estimate(seq_len).seconds * 1e3
+        dense_ms = dense.run(seq_len).seconds * 1e3
+        table.add_row(seq_len, round(swat_ms, 2), round(dense_ms, 2), round(dense_ms / swat_ms, 1))
+    return table
+
+
+def _balance_sweep():
+    table = Table(
+        title="Ablation: pipeline balance across design parameters",
+        columns=["head_dim", "window_tokens", "II (cycles)", "bottleneck"],
+    )
+    for head_dim in (32, 64, 128):
+        for window_tokens in (256, 512, 1024):
+            model = SWATPipelineModel(SWATConfig(head_dim=head_dim, window_tokens=window_tokens))
+            table.add_row(
+                head_dim, window_tokens, model.initiation_interval, model.timing.bottleneck_stage
+            )
+    return table
+
+
+def test_window_sparsity_speedup(benchmark):
+    table = benchmark(_sparsity_ablation)
+    print()
+    print(table.render())
+    speedups = table.column("speedup")
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 20
+
+
+def test_pipeline_balance_sweep(benchmark):
+    table = benchmark(_balance_sweep)
+    print()
+    print(table.render())
+    # The QK MAC loop dominates for every configuration with H >= 64: the
+    # reduction split keeps ZRED/ROWSUM below the QK initiation interval.
+    bottlenecks = set(table.column("bottleneck"))
+    assert "QK" in bottlenecks

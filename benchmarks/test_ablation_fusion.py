@@ -1,0 +1,30 @@
+"""Ablation: kernel fusion's effect on off-chip intermediate traffic.
+
+DESIGN.md design decision 1: the fused kernel (Equation 1) never materialises
+the S / S' matrices off chip.  The unfused three-step schedule must spill the
+banded score tile per row and read it back twice (once for the softmax, once
+for the SV product).  This ablation quantifies the traffic both ways.
+"""
+
+from repro.core.config import SWATConfig
+from repro.core.simulator import SWATSimulator
+
+
+def _traffic_comparison(seq_len=4096):
+    config = SWATConfig.longformer()
+    simulator = SWATSimulator(config)
+    fused = simulator.estimate_traffic(seq_len).total_bytes
+    # Unfused: the banded scores (seq_len x 2w values) are written once and
+    # read twice at the datapath precision, on top of the fused traffic.
+    score_bytes = seq_len * config.window_tokens * config.element_bytes
+    unfused = fused + 3 * score_bytes
+    return fused, unfused
+
+
+def test_fusion_removes_intermediate_traffic(benchmark):
+    fused, unfused = benchmark(_traffic_comparison)
+    print()
+    print(f"off-chip bytes with kernel fusion:    {fused / 1e6:8.1f} MB")
+    print(f"off-chip bytes without kernel fusion: {unfused / 1e6:8.1f} MB")
+    print(f"traffic reduction: {unfused / fused:.1f}x")
+    assert unfused > 2.5 * fused

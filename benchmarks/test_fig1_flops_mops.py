@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 1 (FLOPs/MOPs breakdown vs input length)."""
+
+from repro.experiments import fig1_flops
+
+
+def test_fig1_flops_mops_breakdown(benchmark):
+    tables = benchmark(fig1_flops.run)
+    print()
+    print(tables["flops"].render())
+    print(tables["mops"].render())
+    # The paper's motivation: attention dominates both budgets at long lengths.
+    assert tables["flops"].column("attention")[-1] > 0.5
+    assert tables["mops"].column("attention")[-1] > 0.8

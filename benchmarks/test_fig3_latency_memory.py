@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (execution time and memory vs input length)."""
+
+from repro.experiments import fig3_latency_memory
+
+
+def test_fig3_latency_and_memory(benchmark):
+    result = benchmark(fig3_latency_memory.run)
+    print()
+    print(result.latency_table.render())
+    print(result.memory_table.render())
+    # Shape checks: SWAT linear, dense-GPU memory quadratic, SWAT wins at 16K.
+    swat = result.latency_ms["SWAT (FPGA|FP16)"]
+    assert swat[-1] / swat[-2] < 2.2
+    dense_memory = result.memory_mb["Dense (GPU|FP32)"]
+    assert dense_memory[-1] / dense_memory[-2] > 3.5
+    assert result.latency_ms["SWAT (FPGA|FP32)"][-1] < result.latency_ms["Dense (GPU|FP32)"][-1]

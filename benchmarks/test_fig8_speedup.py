@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (speedup over the Butterfly accelerator)."""
+
+import pytest
+
+from repro.experiments import fig8_speedup
+
+
+def test_fig8_speedup_over_butterfly(benchmark):
+    result = benchmark(fig8_speedup.run)
+    print()
+    print(result.table.render())
+    at_4096 = list(result.input_lengths).index(4096)
+    assert result.speedup_vs_btf1[at_4096] == pytest.approx(6.7, rel=0.25)
+    assert result.speedup_vs_btf2[at_4096] == pytest.approx(12.2, rel=0.25)
+    assert result.speedup_vs_btf1 == sorted(result.speedup_vs_btf1)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 9 (energy efficiency vs GPU and Butterfly)."""
+
+import pytest
+
+from repro.experiments import fig9_energy
+
+
+def test_fig9_energy_efficiency(benchmark):
+    result = benchmark(fig9_energy.run)
+    print()
+    print(result.table.render())
+    assert result.series["SWAT FP16 vs. BTF-1"][-1] == pytest.approx(11.4, rel=0.3)
+    assert result.series["SWAT FP16 vs. BTF-2"][-1] == pytest.approx(21.9, rel=0.3)
+    assert result.series["SWAT FP32 vs. GPU dense"][-1] == pytest.approx(8.4, rel=0.35)

@@ -1,0 +1,31 @@
+"""Benchmark: raw throughput of the cycle-accurate simulator itself.
+
+This is the one benchmark where the *measured time* (rather than the printed
+artefact) is the point: it tracks how fast the functional + timing simulation
+runs, which bounds the experiment turnaround time of the whole repository.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import dense_attention
+from repro.attention.masks import swat_window_mask
+from repro.core.config import SWATConfig
+from repro.core.simulator import SWATSimulator
+from repro.workload.generator import attention_inputs
+
+
+@pytest.mark.parametrize("seq_len", [256, 1024])
+def test_functional_simulation_throughput(benchmark, seq_len):
+    config = SWATConfig.longformer(head_dim=64, window_tokens=128)
+    simulator = SWATSimulator(config)
+    q, k, v = attention_inputs(seq_len, 64, seed=0)
+    result = benchmark(simulator.run, q, k, v)
+    reference = dense_attention(q, k, v, mask=swat_window_mask(seq_len, 128))
+    np.testing.assert_allclose(result.output, reference, atol=1e-9)
+
+
+def test_analytical_estimate_throughput(benchmark):
+    simulator = SWATSimulator(SWATConfig.longformer())
+    report = benchmark(simulator.estimate, 16384)
+    assert report.cycles > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (pipeline stage timing)."""
+
+from repro.experiments import table1_pipeline
+from repro.experiments.table1_pipeline import PAPER_STAGE_CYCLES
+
+
+def test_table1_pipeline_stage_timing(benchmark):
+    table = benchmark(table1_pipeline.run)
+    print()
+    print(table.render())
+    fp16_row = dict(zip(table.columns[1:-1], table.rows[0][1:-1]))
+    assert fp16_row == PAPER_STAGE_CYCLES

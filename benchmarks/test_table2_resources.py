@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 2 (FPGA resource utilisation)."""
+
+from repro.experiments import table2_resources
+from repro.experiments.table2_resources import PAPER_UTILISATION
+
+
+def test_table2_resource_usage(benchmark):
+    table = benchmark(table2_resources.run)
+    print()
+    print(table.render())
+    for row in table.rows:
+        design = str(row[0])
+        if design.startswith("Butterfly"):
+            continue
+        measured = dict(zip(table.columns[1:5], row[1:5]))
+        for resource, paper_value in PAPER_UTILISATION[design].items():
+            assert abs(measured[resource] - paper_value) <= 5.0

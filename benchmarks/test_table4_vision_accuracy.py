@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 4 (window vs FFT vision models at matched size)."""
+
+from repro.experiments import table4_vision_accuracy
+
+
+def test_table4_vision_accuracy_reduced_budget(benchmark):
+    result = benchmark.pedantic(
+        lambda: table4_vision_accuracy.run(num_train=192, num_test=64, epochs=6),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.measured_table.render())
+    print(result.reference_table.render())
+    assert len(result.measured) == 4
+    for entry in result.measured.values():
+        assert 0.0 <= entry["top1"] <= 100.0

@@ -1,0 +1,16 @@
+"""Pytest bootstrap: make ``repro`` importable from the source tree.
+
+Allows ``pytest`` to run directly from a fresh checkout (or in offline
+environments where an editable install is inconvenient) by putting ``src/`` on
+``sys.path`` when the package has not been installed.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+
+try:
+    import repro  # noqa: F401  (already installed)
+except ImportError:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))

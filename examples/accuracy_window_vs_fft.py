@@ -1,0 +1,53 @@
+"""Accuracy scenario: window attention vs FFT mixing on a locality-driven task.
+
+A miniature version of the paper's Table 3 study: train three small
+Transformer classifiers that differ only in their mixing mechanism — sliding
+window attention (Longformer-style, supported by SWAT), a BTF-1-style hybrid
+(FFT layers with one final softmax-attention layer) and a pure FFT mixer — on
+the synthetic Pathfinder task, whose label depends on chaining local adjacency
+over a long span.
+
+Run with ``python examples/accuracy_window_vs_fft.py`` (takes about a minute).
+"""
+
+from repro.analysis import Table
+from repro.nn import Trainer, build_classifier, make_pathfinder_task
+
+
+def main() -> None:
+    task = make_pathfinder_task(num_train=400, num_test=120, seq_len=48, seed=0)
+    print(f"task: {task.name}, {task.num_train} train / {task.num_test} test, seq_len={task.seq_len}")
+
+    table = Table(
+        title="Window attention vs FFT mixing on the synthetic Pathfinder task",
+        columns=["model", "parameters", "train acc", "test acc"],
+    )
+    configurations = (
+        ("Longformer (window attention)", "window", {}),
+        ("BTF-1 (FFT + 1 softmax layer)", "hybrid", {"num_softmax_layers": 1}),
+        ("Full-FFT (FNet-style mixing)", "fft", {}),
+    )
+    for label, attention, extra in configurations:
+        model = build_classifier(
+            attention, task, dim=32, num_layers=2, num_heads=2, window=6, seed=1, **extra
+        )
+        trainer = Trainer(model, lr=5e-3, batch_size=32, epochs=8, seed=0)
+        result = trainer.fit(task, label)
+        table.add_row(
+            label,
+            result.num_parameters,
+            round(result.train_accuracy, 3),
+            round(result.test_accuracy, 3),
+        )
+    print(table.render())
+    print()
+    print(
+        "Softmax window attention can resolve the local 'is the path broken here?'\n"
+        "predicate directly — the effect behind Table 3 of the paper.  At this tiny\n"
+        "model/data scale the outcome is noisy (see EXPERIMENTS.md for the full-budget\n"
+        "runs and a discussion of when the ordering does and does not emerge)."
+    )
+
+
+if __name__ == "__main__":
+    main()

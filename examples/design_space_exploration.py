@@ -1,0 +1,68 @@
+"""Design-space exploration: window width, precision, clock and pipelines.
+
+Uses the resource, power and pipeline models to sweep SWAT design points the
+way an accelerator architect would before committing to synthesis: for each
+candidate the script reports the attention-core count, whether it fits the
+Alveo U55C, the pipeline initiation interval, the 16K-token latency and the
+energy per attention.
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from repro import SWATConfig, SWATSimulator
+from repro.analysis import Table
+
+
+def main() -> None:
+    seq_len = 16384
+    candidates = []
+    for window_tokens in (256, 512, 1024):
+        for precision in ("fp16", "fp32"):
+            for num_pipelines in (1, 2):
+                candidates.append(
+                    SWATConfig.longformer(
+                        precision=precision,
+                        window_tokens=window_tokens,
+                        num_pipelines=num_pipelines,
+                    )
+                )
+
+    table = Table(
+        title=f"SWAT design-space exploration ({seq_len} tokens, 12 heads)",
+        columns=[
+            "window",
+            "precision",
+            "pipelines",
+            "fits U55C",
+            "DSP %",
+            "II (cycles)",
+            "latency (ms)",
+            "energy (mJ)",
+        ],
+    )
+    for config in candidates:
+        simulator = SWATSimulator(config)
+        report = simulator.estimate(seq_len, num_heads=12)
+        usage = simulator.resources.utilisation_percent()
+        table.add_row(
+            config.window_tokens,
+            config.precision.name,
+            config.num_pipelines,
+            simulator.resources.fits,
+            round(usage["DSP"], 1),
+            report.initiation_interval,
+            round(report.seconds * 1e3, 2),
+            round(report.energy_joules * 1e3, 1),
+        )
+    print(table.render())
+    print()
+    feasible = [row for row in table.rows if row[3]]
+    best = min(feasible, key=lambda row: row[6])
+    print(
+        f"Fastest feasible design: window={best[0]}, {best[1]}, {best[2]} pipeline(s) "
+        f"-> {best[6]} ms, {best[7]} mJ per 12-head attention"
+    )
+
+
+if __name__ == "__main__":
+    main()

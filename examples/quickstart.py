@@ -1,0 +1,42 @@
+"""Quickstart: simulate one attention head on SWAT and check it against numpy.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import numpy as np
+
+from repro import SWATConfig, SWATSimulator
+from repro.attention import dense_attention, swat_window_mask
+from repro.workload import attention_inputs
+
+
+def main() -> None:
+    # A scaled-down SWAT instance: 64 attention cores (2w = 64), H = 64, FP16.
+    config = SWATConfig.longformer(window_tokens=64)
+    simulator = SWATSimulator(config)
+    print(f"SWAT configuration: {config.describe()}")
+
+    # One attention head over 512 tokens.
+    seq_len = 512
+    q, k, v = attention_inputs(seq_len, config.head_dim, seed=0)
+    result = simulator.run(q, k, v)
+
+    # The simulator's functional output matches the window-attention reference.
+    reference = dense_attention(q, k, v, mask=swat_window_mask(seq_len, config.window_tokens))
+    max_error = float(np.max(np.abs(result.output - reference)))
+    print(f"max |simulator - reference| = {max_error:.2e}")
+
+    # Cycle-accurate timing, traffic and energy.
+    timing = result.timing
+    print(f"pipeline initiation interval: {timing.initiation_interval} cycles/row")
+    print(f"total cycles: {timing.cycles}  ->  {timing.seconds * 1e3:.3f} ms at {config.clock_mhz:.0f} MHz")
+    print(f"board power: {timing.power_w:.1f} W, energy per attention: {timing.energy_joules * 1e3:.2f} mJ")
+    print(
+        "off-chip traffic: "
+        f"{result.traffic.total_bytes / 1e6:.2f} MB "
+        f"(K/V transfer efficiency {result.traffic.transfer_efficiency:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Shared analysis helpers: speedup/energy metrics and text-table rendering."""
+
+from repro.analysis.metrics import (
+    energy_efficiency,
+    geometric_mean,
+    normalized_series,
+    speedup,
+)
+from repro.analysis.report import Table, format_series, format_table
+
+__all__ = [
+    "speedup",
+    "energy_efficiency",
+    "geometric_mean",
+    "normalized_series",
+    "Table",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,43 @@
+"""Comparison metrics used across the evaluation experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["speedup", "energy_efficiency", "geometric_mean", "normalized_series"]
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """Return how many times faster the candidate is than the baseline."""
+    if baseline_seconds <= 0 or candidate_seconds <= 0:
+        raise ValueError("latencies must be positive")
+    return baseline_seconds / candidate_seconds
+
+
+def energy_efficiency(baseline_joules: float, candidate_joules: float) -> float:
+    """Return the candidate's energy-efficiency advantage over the baseline.
+
+    Defined, as in Figure 9 of the paper, as baseline energy per attention
+    divided by candidate energy per attention — larger is better for the
+    candidate.
+    """
+    if baseline_joules <= 0 or candidate_joules <= 0:
+        raise ValueError("energies must be positive")
+    return baseline_joules / candidate_joules
+
+
+def geometric_mean(values: "list[float]") -> float:
+    """Geometric mean of positive values (used for cross-length summaries)."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("values must be non-empty")
+    if (array <= 0).any():
+        raise ValueError("values must be positive")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def normalized_series(values: "list[float]", reference: float) -> "list[float]":
+    """Divide every value by ``reference`` (normalised plot series)."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return [value / reference for value in values]

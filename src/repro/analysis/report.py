@@ -1,0 +1,88 @@
+"""Plain-text table and series rendering shared by experiments and benchmarks.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text: each experiment module produces a :class:`Table` (or a set of series)
+and these helpers format them consistently for the console and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table", "format_series"]
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. "Table 1: pipeline stage timing").
+    columns:
+        Column headers.
+    rows:
+        Row values; each row must have one entry per column.
+    """
+
+    title: str
+    columns: "list[str]"
+    rows: "list[list[object]]" = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append a row, checking its arity against the header."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> "list[object]":
+        """Return all values of the named column."""
+        if name not in self.columns:
+            raise KeyError(f"no column named {name!r}; columns: {self.columns}")
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        return format_table(self)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned plain text with its title."""
+    header = [str(column) for column in table.columns]
+    body = [[_format_cell(value) for value in row] for row in table.rows]
+    widths = [len(column) for column in header]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: "list[str]") -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [table.title, render_row(header), separator]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: "list[object]", series: "dict[str, list[float]]") -> str:
+    """Render one figure's data series as a table with the x-axis as first column."""
+    table = Table(title=title, columns=[x_label, *series.keys()])
+    for index, x in enumerate(xs):
+        table.add_row(x, *[values[index] for values in series.values()])
+    return format_table(table)

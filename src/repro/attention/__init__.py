@@ -1,0 +1,62 @@
+"""Functional attention algorithms used as references and workloads.
+
+Every function in this package operates on plain ``numpy`` arrays with shapes
+
+* ``q, k, v`` : ``(seq_len, head_dim)`` for a single head, or
+  ``(heads, seq_len, head_dim)`` for multi-head variants where noted.
+
+The dense implementation (:mod:`repro.attention.dense`) is the ground truth
+against which the sliding-window, sliding-chunks, BigBird and fused kernels are
+validated, both in the test-suite and inside the SWAT cycle-accurate simulator.
+"""
+
+from repro.attention.masks import (
+    AttentionPattern,
+    band_mask,
+    bigbird_mask,
+    causal_mask,
+    dense_mask,
+    global_mask,
+    mask_density,
+    random_mask,
+    swat_window_mask,
+    window_mask,
+)
+from repro.attention.softmax import masked_softmax, softmax
+from repro.attention.dense import dense_attention
+from repro.attention.window import window_attention, window_attention_banded
+from repro.attention.sliding_chunks import (
+    SlidingChunksStats,
+    sliding_chunks_attention,
+    sliding_chunks_stats,
+)
+from repro.attention.bigbird import bigbird_attention
+from repro.attention.butterfly import butterfly_matrix, fft_mixing_attention
+from repro.attention.fused import FusedRowResult, fused_window_attention, fused_row
+
+__all__ = [
+    "AttentionPattern",
+    "band_mask",
+    "bigbird_mask",
+    "causal_mask",
+    "dense_mask",
+    "global_mask",
+    "mask_density",
+    "random_mask",
+    "swat_window_mask",
+    "window_mask",
+    "softmax",
+    "masked_softmax",
+    "dense_attention",
+    "window_attention",
+    "window_attention_banded",
+    "SlidingChunksStats",
+    "sliding_chunks_attention",
+    "sliding_chunks_stats",
+    "bigbird_attention",
+    "butterfly_matrix",
+    "fft_mixing_attention",
+    "FusedRowResult",
+    "fused_window_attention",
+    "fused_row",
+]

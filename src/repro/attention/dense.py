@@ -1,0 +1,71 @@
+"""Dense (quadratic) softmax attention — the ground-truth reference."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.softmax import masked_softmax, softmax
+
+__all__ = ["dense_attention"]
+
+
+def dense_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: "np.ndarray | None" = None,
+    scale: "float | None" = None,
+) -> np.ndarray:
+    """Compute standard softmax attention ``softmax(Q K^T * scale) V``.
+
+    Parameters
+    ----------
+    q, k, v:
+        Arrays of shape ``(seq_len, head_dim)``.  ``k`` and ``v`` must share
+        their first dimension (same number of key/value rows); ``q`` may have
+        a different number of rows (cross attention), although the paper only
+        exercises self-attention where all three match.
+    mask:
+        Optional boolean array of shape ``(len(q), len(k))``; True marks
+        attended positions.  When omitted, full dense attention is computed.
+    scale:
+        Score scaling factor.  Defaults to ``1/sqrt(head_dim)`` as in the
+        original Transformer.
+
+    Returns
+    -------
+    numpy.ndarray
+        The attention output ``Z`` of shape ``(len(q), head_dim)``.
+    """
+    q, k, v = _validate_qkv(q, k, v)
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = (q @ k.T) * scale
+    if mask is None:
+        probs = softmax(scores, axis=-1)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != scores.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match scores shape {scores.shape}"
+            )
+        probs = masked_softmax(scores, mask, axis=-1)
+    return probs @ v
+
+
+def _validate_qkv(q: np.ndarray, k: np.ndarray, v: np.ndarray):
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    for name, array in (("q", q), ("k", k), ("v", v)):
+        if array.ndim != 2:
+            raise ValueError(f"{name} must be 2-D (seq_len, head_dim), got shape {array.shape}")
+    if q.shape[1] != k.shape[1]:
+        raise ValueError(
+            f"q and k head dimensions differ: {q.shape[1]} vs {k.shape[1]}"
+        )
+    if k.shape[0] != v.shape[0]:
+        raise ValueError(
+            f"k and v must have the same number of rows: {k.shape[0]} vs {v.shape[0]}"
+        )
+    return q, k, v

@@ -1,0 +1,157 @@
+"""The fused row-wise attention kernel (Equation 1 of the paper).
+
+SWAT's kernel fusion rewrites one output row as
+
+.. math::
+
+    Z_{i,:} = \\frac{1}{\\sum_l \\exp(S_{i,l})} \\sum_n \\exp(S_{i,n}) V_{n,:}
+
+so that the QK product, the exponential, the SV product and the row sum can
+all be computed in a single pass over the attended keys of row ``i``, with the
+division applied once at the end.  This removes the row-wise softmax barrier
+that normally forces the three steps to be separate kernels with intermediate
+tensors spilled off-chip.
+
+:func:`fused_row` implements exactly the per-row computation an attention-core
+array performs (one partial Z slice and one partial row-sum term per attended
+key); :func:`fused_window_attention` drives it over all rows.  Both support an
+optional max-subtraction toggle: the hardware omits it (scores of windowed
+attention are small enough for FP16 exponentials at the paper's scale) while
+the numerically-safe software default keeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FusedRowResult", "fused_row", "fused_window_attention"]
+
+
+@dataclass(frozen=True)
+class FusedRowResult:
+    """Intermediate products of the fused kernel for one query row.
+
+    Attributes
+    ----------
+    z_unscaled:
+        ``sum_n exp(S_in) * V_n`` — the un-normalised output slice
+        (what the Z-reduction stage of the pipeline produces).
+    row_sum:
+        ``sum_l exp(S_il)`` — the softmax denominator (Row-Sum stage).
+    z:
+        ``z_unscaled / row_sum`` — the final output row (Division stage).
+    scores:
+        The raw banded scores ``S_i`` for the attended keys (for inspection
+        and testing; the hardware keeps them only transiently in SBuf).
+    """
+
+    z_unscaled: np.ndarray
+    row_sum: float
+    z: np.ndarray
+    scores: np.ndarray
+
+
+def fused_row(
+    q_row: np.ndarray,
+    k_rows: np.ndarray,
+    v_rows: np.ndarray,
+    scale: "float | None" = None,
+    subtract_max: bool = True,
+) -> FusedRowResult:
+    """Run the fused kernel for one query row over its attended keys.
+
+    Parameters
+    ----------
+    q_row:
+        Query vector of shape ``(head_dim,)``.
+    k_rows, v_rows:
+        The attended key and value rows, shape ``(num_attended, head_dim)``.
+        In SWAT each pair ``(k_rows[j], v_rows[j])`` lives in one attention
+        core.
+    scale:
+        Score scale, default ``1/sqrt(head_dim)``.
+    subtract_max:
+        Whether to subtract the row max before exponentiation.  The result is
+        mathematically identical either way; disabling it mimics the hardware
+        datapath and is exercised by the FP16-error tests.
+    """
+    q_row = np.asarray(q_row, dtype=np.float64)
+    k_rows = np.asarray(k_rows, dtype=np.float64)
+    v_rows = np.asarray(v_rows, dtype=np.float64)
+    if q_row.ndim != 1:
+        raise ValueError(f"q_row must be 1-D, got shape {q_row.shape}")
+    if k_rows.ndim != 2 or v_rows.ndim != 2:
+        raise ValueError("k_rows and v_rows must be 2-D (num_attended, head_dim)")
+    if k_rows.shape[0] != v_rows.shape[0]:
+        raise ValueError("k_rows and v_rows must have the same number of rows")
+    if k_rows.shape[0] == 0:
+        raise ValueError("a query row must attend to at least one key")
+    if k_rows.shape[1] != q_row.shape[0]:
+        raise ValueError("k_rows head_dim must match q_row")
+    if scale is None:
+        scale = 1.0 / np.sqrt(q_row.shape[0])
+
+    scores = (k_rows @ q_row) * scale
+    shifted = scores - scores.max() if subtract_max else scores
+    weights = np.exp(shifted)
+    z_unscaled = weights @ v_rows
+    row_sum = float(weights.sum())
+    z = z_unscaled / row_sum
+    return FusedRowResult(z_unscaled=z_unscaled, row_sum=row_sum, z=z, scores=scores)
+
+
+def fused_window_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    window: int,
+    global_tokens: "tuple[int, ...] | list[int]" = (),
+    random_tokens: "dict[int, tuple[int, ...]] | None" = None,
+    scale: "float | None" = None,
+    subtract_max: bool = True,
+) -> np.ndarray:
+    """Fused row-wise attention over a window + global + random pattern.
+
+    This is the algorithm the SWAT simulator executes: for every query row the
+    attended key set is the union of the sliding window, the global tokens and
+    that row's static random tokens; the fused kernel of :func:`fused_row` is
+    applied to that set.
+
+    Parameters
+    ----------
+    random_tokens:
+        Optional mapping ``row index -> tuple of extra key indices`` (the
+        design-time random-attention parameters).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if q.shape != k.shape or k.shape[0] != v.shape[0]:
+        raise ValueError("q, k, v must agree on seq_len and head_dim for self-attention")
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    seq_len = q.shape[0]
+    global_set = sorted(set(int(g) for g in global_tokens))
+    for g in global_set:
+        if g < 0 or g >= seq_len:
+            raise ValueError(f"global token index {g} out of range [0, {seq_len})")
+    random_tokens = random_tokens or {}
+
+    output = np.empty_like(q)
+    for i in range(seq_len):
+        lo = max(0, i - window)
+        hi = min(seq_len, i + window + 1)
+        attended = set(range(lo, hi))
+        attended.update(global_set)
+        attended.update(int(r) for r in random_tokens.get(i, ()))
+        indices = sorted(attended)
+        for idx in indices:
+            if idx < 0 or idx >= seq_len:
+                raise ValueError(f"attended index {idx} out of range for row {i}")
+        result = fused_row(
+            q[i], k[indices], v[indices], scale=scale, subtract_max=subtract_max
+        )
+        output[i] = result.z
+    return output

@@ -1,0 +1,301 @@
+"""Static attention-mask construction for structured sparse attention.
+
+The paper studies *static* sparse attention: the set of key positions each
+query attends to is fixed at design time.  Three building blocks are used by
+the models SWAT supports (Longformer, BigBird, ViL):
+
+* a **sliding window** of ``w`` tokens on each side of the query
+  (:func:`window_mask`),
+* a set of **global tokens** attended by, and attending to, every position
+  (:func:`global_mask`),
+* a set of **random tokens** per query row, chosen statically
+  (:func:`random_mask`).
+
+Masks are boolean numpy arrays of shape ``(seq_len, seq_len)`` where
+``mask[i, j] is True`` means query ``i`` attends to key ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "AttentionPattern",
+    "dense_mask",
+    "causal_mask",
+    "window_mask",
+    "band_mask",
+    "swat_window_mask",
+    "global_mask",
+    "random_mask",
+    "bigbird_mask",
+    "mask_density",
+    "rows_attended",
+]
+
+
+def dense_mask(seq_len: int) -> np.ndarray:
+    """Return the all-ones mask of full (quadratic) attention."""
+    _validate_seq_len(seq_len)
+    return np.ones((seq_len, seq_len), dtype=bool)
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Return the lower-triangular causal mask (decoder-style attention)."""
+    _validate_seq_len(seq_len)
+    return np.tril(np.ones((seq_len, seq_len), dtype=bool))
+
+
+def window_mask(seq_len: int, window: int) -> np.ndarray:
+    """Return the sliding-window mask of half-width ``window``.
+
+    Query ``i`` attends to keys ``j`` with ``|i - j| <= window``, i.e. ``w``
+    tokens before and after plus itself, matching Figure 2a of the paper where
+    the band has total width ``2w`` (+1 for the diagonal).
+
+    Parameters
+    ----------
+    seq_len:
+        Number of tokens in the sequence.
+    window:
+        Half-width ``w`` of the sliding window.  ``window=0`` degenerates to
+        the identity (each token attends only to itself).
+    """
+    _validate_seq_len(seq_len)
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+    offsets = np.arange(seq_len)
+    distance = np.abs(offsets[:, None] - offsets[None, :])
+    return distance <= window
+
+
+def band_mask(seq_len: int, before: int, after: int) -> np.ndarray:
+    """Return an asymmetric banded mask: query ``i`` attends keys ``[i-before, i+after]``.
+
+    SWAT's hardware window covers exactly ``2w`` keys per row — ``w`` before
+    the query and ``w-1`` after it (plus the query itself) — so that the
+    ``2w``-slot FIFO maps key indices to buffer slots collision-free with a
+    simple modulo.  ``band_mask(n, w, w - 1)`` is that hardware window;
+    ``band_mask(n, w, w)`` is the symmetric algorithmic window of
+    :func:`window_mask`.
+    """
+    _validate_seq_len(seq_len)
+    if before < 0 or after < 0:
+        raise ValueError("before and after must be non-negative")
+    offsets = np.arange(seq_len)
+    delta = offsets[None, :] - offsets[:, None]
+    return (delta >= -before) & (delta <= after)
+
+
+def swat_window_mask(seq_len: int, window_tokens: int) -> np.ndarray:
+    """The mask realised by SWAT's ``window_tokens``-core sliding window.
+
+    ``window_tokens`` is the total band width ``2w``; each query row attends
+    to the ``2w`` keys in ``[i-w, i+w)``.
+    """
+    if window_tokens <= 0 or window_tokens % 2 != 0:
+        raise ValueError(f"window_tokens must be positive and even, got {window_tokens}")
+    half = window_tokens // 2
+    return band_mask(seq_len, before=half, after=half - 1)
+
+
+def global_mask(seq_len: int, global_tokens: "list[int] | np.ndarray") -> np.ndarray:
+    """Return the mask contributed by global tokens.
+
+    A global token attends to every position and is attended by every
+    position (the symmetric definition used by Longformer and BigBird).
+    """
+    _validate_seq_len(seq_len)
+    mask = np.zeros((seq_len, seq_len), dtype=bool)
+    indices = _validate_indices(seq_len, global_tokens, "global_tokens")
+    if indices.size:
+        mask[indices, :] = True
+        mask[:, indices] = True
+    return mask
+
+
+def random_mask(
+    seq_len: int,
+    tokens_per_row: int,
+    seed: int = 0,
+    exclude_window: int = 0,
+) -> np.ndarray:
+    """Return a static random-attention mask in the BigBird style.
+
+    Each query row attends to ``tokens_per_row`` randomly-selected key
+    positions.  The selection is static (fixed by ``seed``) which is what
+    allows SWAT to bake it in as a design-time parameter.
+
+    Parameters
+    ----------
+    tokens_per_row:
+        Number of random key positions per query row.
+    seed:
+        Seed of the PRNG that fixes the static pattern.
+    exclude_window:
+        If positive, positions already covered by a sliding window of this
+        half-width are excluded from the candidate pool so that the random
+        tokens add genuinely new coverage.
+    """
+    _validate_seq_len(seq_len)
+    if tokens_per_row < 0:
+        raise ValueError(f"tokens_per_row must be non-negative, got {tokens_per_row}")
+    rng = np.random.default_rng(seed)
+    mask = np.zeros((seq_len, seq_len), dtype=bool)
+    all_positions = np.arange(seq_len)
+    for i in range(seq_len):
+        if exclude_window > 0:
+            candidates = all_positions[np.abs(all_positions - i) > exclude_window]
+        else:
+            candidates = all_positions
+        if candidates.size == 0:
+            continue
+        count = min(tokens_per_row, candidates.size)
+        chosen = rng.choice(candidates, size=count, replace=False)
+        mask[i, chosen] = True
+    return mask
+
+
+def bigbird_mask(
+    seq_len: int,
+    window: int,
+    num_global: int,
+    num_random: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Return the combined BigBird mask: window + global + static random.
+
+    The first ``num_global`` positions are used as global tokens, matching the
+    common BigBird/Longformer convention of making the leading (CLS-like)
+    tokens global.
+    """
+    _validate_seq_len(seq_len)
+    num_global = min(num_global, seq_len)
+    mask = window_mask(seq_len, window)
+    if num_global > 0:
+        mask |= global_mask(seq_len, list(range(num_global)))
+    if num_random > 0:
+        mask |= random_mask(seq_len, num_random, seed=seed, exclude_window=window)
+    return mask
+
+
+def mask_density(mask: np.ndarray) -> float:
+    """Return the fraction of attended (True) entries in ``mask``."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0:
+        raise ValueError("mask must be non-empty")
+    return float(mask.sum()) / float(mask.size)
+
+
+def rows_attended(mask: np.ndarray) -> np.ndarray:
+    """Return, per query row, the number of attended key positions."""
+    return np.asarray(mask, dtype=bool).sum(axis=1)
+
+
+@dataclass(frozen=True)
+class AttentionPattern:
+    """A named static sparse-attention pattern.
+
+    This is the algorithm-level counterpart of SWAT's design-time parameters
+    (Figure 7 of the paper): the sliding-window half-width plus the explicit
+    index sets of global tokens and the per-row budget of random tokens.
+
+    Attributes
+    ----------
+    seq_len:
+        Sequence length the pattern is built for.
+    window:
+        Sliding-window half-width ``w`` (band of total width ``2w``).
+    global_tokens:
+        Indices of global tokens (attend to / attended by everyone).
+    random_tokens_per_row:
+        Number of statically-chosen random key positions per query row.
+    random_seed:
+        Seed fixing the static random pattern.
+    """
+
+    seq_len: int
+    window: int
+    global_tokens: tuple = field(default_factory=tuple)
+    random_tokens_per_row: int = 0
+    random_seed: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_seq_len(self.seq_len)
+        if self.window < 0:
+            raise ValueError(f"window must be non-negative, got {self.window}")
+        if self.random_tokens_per_row < 0:
+            raise ValueError(
+                "random_tokens_per_row must be non-negative, "
+                f"got {self.random_tokens_per_row}"
+            )
+        _validate_indices(self.seq_len, list(self.global_tokens), "global_tokens")
+
+    @classmethod
+    def longformer(cls, seq_len: int, window: int, num_global: int = 0) -> "AttentionPattern":
+        """Longformer-style pattern: window plus leading global tokens."""
+        return cls(
+            seq_len=seq_len,
+            window=window,
+            global_tokens=tuple(range(min(num_global, seq_len))),
+        )
+
+    @classmethod
+    def bigbird(
+        cls,
+        seq_len: int,
+        window: int,
+        num_global: int,
+        num_random: int,
+        seed: int = 0,
+    ) -> "AttentionPattern":
+        """BigBird-style pattern: window + leading globals + static random."""
+        return cls(
+            seq_len=seq_len,
+            window=window,
+            global_tokens=tuple(range(min(num_global, seq_len))),
+            random_tokens_per_row=num_random,
+            random_seed=seed,
+        )
+
+    def build_mask(self) -> np.ndarray:
+        """Materialise the boolean ``(seq_len, seq_len)`` mask."""
+        mask = window_mask(self.seq_len, self.window)
+        if self.global_tokens:
+            mask |= global_mask(self.seq_len, list(self.global_tokens))
+        if self.random_tokens_per_row > 0:
+            mask |= random_mask(
+                self.seq_len,
+                self.random_tokens_per_row,
+                seed=self.random_seed,
+                exclude_window=self.window,
+            )
+        return mask
+
+    def tokens_attended_per_row(self) -> int:
+        """Upper bound on attended tokens per row (SWAT's attention-core count).
+
+        SWAT instantiates one attention core per attended key position of a
+        row: ``2w`` (+1) window cores, one core per global token and one per
+        random token.  This is the design-time sizing quantity.
+        """
+        window_tokens = 2 * self.window + 1
+        return window_tokens + len(self.global_tokens) + self.random_tokens_per_row
+
+    def density(self) -> float:
+        """Fraction of attended entries of the materialised mask."""
+        return mask_density(self.build_mask())
+
+
+def _validate_seq_len(seq_len: int) -> None:
+    if seq_len <= 0:
+        raise ValueError(f"seq_len must be positive, got {seq_len}")
+
+
+def _validate_indices(seq_len: int, indices, name: str) -> np.ndarray:
+    array = np.asarray(list(indices), dtype=int) if not isinstance(indices, np.ndarray) else indices.astype(int)
+    if array.size and (array.min() < 0 or array.max() >= seq_len):
+        raise ValueError(f"{name} indices must lie in [0, {seq_len}), got {array}")
+    return array

@@ -1,0 +1,174 @@
+"""The Longformer *sliding chunks* implementation of window attention.
+
+This is the state-of-the-art GPU implementation the paper uses as its software
+baseline (Figure 2b): the banded score matrix is covered by dense
+``2w x 2w`` chunks along the diagonal so that every operation maps onto a
+regular dense matmul that tensor cores / BLAS libraries can execute.  The
+price is redundant work: the chunks overlap and their corners fall outside the
+band.  The fraction of redundant score entries approaches 50 % as the number
+of chunks grows (``1/2 - 1/(4 |chunks|)`` in the paper).
+
+:func:`sliding_chunks_attention` reproduces the algorithm functionally (the
+output matches plain window attention), while :func:`sliding_chunks_stats`
+accounts for the extra arithmetic, memory and kernel launches that the GPU
+model in :mod:`repro.gpu.chunked_runner` charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.softmax import softmax
+from repro.attention.window import window_attention
+
+__all__ = ["sliding_chunks_attention", "SlidingChunksStats", "sliding_chunks_stats"]
+
+
+def sliding_chunks_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    window: int,
+    scale: "float | None" = None,
+) -> np.ndarray:
+    """Window attention computed with the sliding-chunks decomposition.
+
+    The sequence is split into chunks of ``window`` rows.  Each chunk of
+    queries attends to the keys of its own chunk and both neighbouring chunks
+    (a ``3*window`` wide slab, which covers the ``[-w, +w]`` band), with the
+    positions outside the exact band masked away before the softmax.  This
+    mirrors Hugging Face's Longformer implementation at the level of which
+    dense blocks get computed, which is what matters for the performance
+    model; the arithmetic inside each slab is ordinary dense attention.
+
+    The output is numerically equivalent to :func:`repro.attention.window.window_attention`.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if window <= 0:
+        raise ValueError(f"window must be positive for sliding chunks, got {window}")
+    if q.shape != k.shape or k.shape[0] != v.shape[0]:
+        raise ValueError("q, k, v must agree on seq_len and head_dim for self-attention")
+    seq_len, head_dim = q.shape
+    if scale is None:
+        scale = 1.0 / np.sqrt(head_dim)
+    if seq_len <= window:
+        # Degenerate case: a single chunk already covers the whole band.
+        return window_attention(q, k, v, window, scale=scale)
+
+    output = np.empty_like(q)
+    chunk = window
+    num_chunks = int(np.ceil(seq_len / chunk))
+    for c in range(num_chunks):
+        q_lo = c * chunk
+        q_hi = min(seq_len, (c + 1) * chunk)
+        k_lo = max(0, q_lo - chunk)
+        k_hi = min(seq_len, q_hi + chunk)
+        scores = (q[q_lo:q_hi] @ k[k_lo:k_hi].T) * scale
+        rows = np.arange(q_lo, q_hi)[:, None]
+        cols = np.arange(k_lo, k_hi)[None, :]
+        in_band = np.abs(rows - cols) <= window
+        scores = np.where(in_band, scores, -1.0e9)
+        probs = softmax(scores, axis=-1)
+        probs = np.where(in_band, probs, 0.0)
+        output[q_lo:q_hi] = probs @ v[k_lo:k_hi]
+    return output
+
+
+@dataclass(frozen=True)
+class SlidingChunksStats:
+    """Operation counts of the sliding-chunks decomposition.
+
+    Attributes
+    ----------
+    seq_len, window, head_dim:
+        Problem dimensions (``window`` is the half-width ``w``).
+    num_chunks:
+        Number of diagonal chunks of ``window`` query rows.
+    score_elements_computed:
+        Dense score entries the chunked matmuls evaluate (band + redundancy).
+    score_elements_useful:
+        Entries that lie inside the exact ``[-w, +w]`` band.
+    redundancy_ratio:
+        Fraction of computed score entries that are redundant; approaches 0.5
+        as the number of chunks grows (paper Section 1).
+    flops:
+        Total floating-point operations charged (QK + softmax + SV over the
+        computed entries).
+    memory_bytes_fp32:
+        Peak intermediate memory in bytes for the chunked score/probability
+        tensors in FP32, which is what Figure 3 plots for the GPU.
+    kernel_launches:
+        Number of GPU kernel launches (three per chunk: QK matmul, softmax,
+        SV matmul), the overhead source called out in the paper.
+    """
+
+    seq_len: int
+    window: int
+    head_dim: int
+    num_chunks: int
+    score_elements_computed: int
+    score_elements_useful: int
+    redundancy_ratio: float
+    flops: int
+    memory_bytes_fp32: int
+    kernel_launches: int
+
+
+def sliding_chunks_stats(seq_len: int, window: int, head_dim: int) -> SlidingChunksStats:
+    """Return the arithmetic/memory accounting of sliding-chunks attention."""
+    if seq_len <= 0 or head_dim <= 0:
+        raise ValueError("seq_len and head_dim must be positive")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    # Accounting follows the paper's Figure 2b decomposition: overlapping
+    # dense chunks of size 2w x 2w laid along the diagonal (stride w), whose
+    # overlap regions and corners are redundant work.  The redundant fraction
+    # is 1/2 - 1/(4*|chunks|), approaching 50 % for long sequences.
+    chunk = 2 * window
+    num_chunks = max(1, int(np.ceil(seq_len / window)) - 1)
+
+    computed = 0
+    useful = 0
+    for c in range(num_chunks):
+        q_lo = c * window
+        q_hi = min(seq_len, q_lo + chunk)
+        k_lo = q_lo
+        k_hi = q_hi
+        rows = q_hi - q_lo
+        cols = k_hi - k_lo
+        computed += rows * cols
+        row_idx = np.arange(q_lo, q_hi)[:, None]
+        col_idx = np.arange(k_lo, k_hi)[None, :]
+        band = np.abs(row_idx - col_idx) <= window
+        if c > 0:
+            # Rows already covered by the previous overlapping chunk only
+            # contribute the columns the previous chunk could not see.
+            overlap_rows = row_idx < q_lo + window
+            previously_seen = col_idx < q_lo + window
+            band = band & ~(overlap_rows & previously_seen)
+        useful += int(band.sum())
+
+    redundancy = 0.0 if computed == 0 else 1.0 - useful / computed
+    # Per computed score entry: 2H (QK) + ~4 (softmax exp/sub/div/sum amortised)
+    # + 2H (SV) flops.
+    flops = computed * (4 * head_dim + 4)
+    # Peak intermediates: scores + probabilities for all chunks (the HF
+    # implementation materialises the full chunked tensor), 4 bytes each.
+    memory_bytes_fp32 = 2 * computed * 4
+    kernel_launches = 3 * num_chunks
+    return SlidingChunksStats(
+        seq_len=seq_len,
+        window=window,
+        head_dim=head_dim,
+        num_chunks=num_chunks,
+        score_elements_computed=int(computed),
+        score_elements_useful=int(useful),
+        redundancy_ratio=float(redundancy),
+        flops=int(flops),
+        memory_bytes_fp32=int(memory_bytes_fp32),
+        kernel_launches=int(kernel_launches),
+    )

@@ -1,0 +1,55 @@
+"""Numerically-stable softmax helpers shared by the attention kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "masked_softmax", "unnormalised_softmax"]
+
+#: Additive constant used to disable masked-out logits.  Large enough that the
+#: exponential underflows to zero in FP32, small enough not to overflow FP16
+#: intermediates after the max-subtraction.
+MASK_FILL_VALUE = -1.0e9
+
+
+def softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Return the numerically-stable softmax of ``scores`` along ``axis``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - scores.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def masked_softmax(scores: np.ndarray, mask: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax over ``scores`` restricted to positions where ``mask`` is True.
+
+    Masked-out positions receive exactly zero probability.  Rows whose mask is
+    entirely False raise ``ValueError`` because the attention output of such a
+    row would be undefined.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    if scores.shape != mask.shape:
+        raise ValueError(
+            f"scores shape {scores.shape} and mask shape {mask.shape} must match"
+        )
+    if not mask.any(axis=axis).all():
+        raise ValueError("every softmax row must attend to at least one position")
+    filled = np.where(mask, scores, MASK_FILL_VALUE)
+    probs = softmax(filled, axis=axis)
+    return np.where(mask, probs, 0.0)
+
+
+def unnormalised_softmax(scores: np.ndarray, axis: int = -1) -> "tuple[np.ndarray, np.ndarray]":
+    """Return ``(exp(scores - max), row_sum)`` — the two halves of Equation 1.
+
+    The paper's kernel-fusion trick computes the softmax *numerator*
+    ``exp(S_ij)`` inside the fused kernel and defers the division by the row
+    sum until after the SV product.  This helper exposes that split so the
+    fused kernel and its tests can share one definition.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - scores.max(axis=axis, keepdims=True)
+    numerator = np.exp(shifted)
+    denominator = numerator.sum(axis=axis, keepdims=True)
+    return numerator, denominator

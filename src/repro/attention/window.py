@@ -1,0 +1,123 @@
+"""Sliding-window attention reference implementations.
+
+Two equivalent formulations are provided:
+
+* :func:`window_attention` — dense attention under a window mask.  Simple and
+  obviously correct, used as the oracle.
+* :func:`window_attention_banded` — only computes the ``2w+1`` banded scores
+  per row (the work SWAT actually performs), never materialising the full
+  ``n x n`` score matrix.  Its FLOP count is the linear-complexity count the
+  paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.dense import dense_attention
+from repro.attention.masks import window_mask
+from repro.attention.softmax import softmax
+
+__all__ = ["window_attention", "window_attention_banded", "BandedStats", "banded_stats"]
+
+
+def window_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    window: int,
+    scale: "float | None" = None,
+) -> np.ndarray:
+    """Sliding-window attention via the masked dense reference."""
+    q = np.asarray(q, dtype=np.float64)
+    mask = window_mask(q.shape[0], window)
+    return dense_attention(q, k, v, mask=mask, scale=scale)
+
+
+def window_attention_banded(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    window: int,
+    scale: "float | None" = None,
+) -> np.ndarray:
+    """Sliding-window attention computed band-wise, row by row.
+
+    For each query row ``i`` only the keys ``j in [i-w, i+w]`` are touched, so
+    the amount of arithmetic is ``O(n * (2w+1) * H)`` — the linear complexity
+    that motivates the paper.  The result is numerically identical (up to
+    floating-point reassociation) to :func:`window_attention`.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if q.ndim != 2 or k.ndim != 2 or v.ndim != 2:
+        raise ValueError("q, k, v must be 2-D (seq_len, head_dim)")
+    if q.shape != k.shape or k.shape[0] != v.shape[0]:
+        raise ValueError("q, k, v must agree on seq_len and head_dim for self-attention")
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+    seq_len, head_dim = q.shape
+    if scale is None:
+        scale = 1.0 / np.sqrt(head_dim)
+
+    output = np.empty_like(q)
+    for i in range(seq_len):
+        lo = max(0, i - window)
+        hi = min(seq_len, i + window + 1)
+        scores = (k[lo:hi] @ q[i]) * scale
+        probs = softmax(scores)
+        output[i] = probs @ v[lo:hi]
+    return output
+
+
+@dataclass(frozen=True)
+class BandedStats:
+    """Arithmetic and memory-traffic statistics of banded window attention.
+
+    Attributes
+    ----------
+    seq_len, window, head_dim:
+        Problem dimensions (half-width ``w``).
+    score_elements:
+        Number of S entries actually computed (band entries only).
+    flops:
+        Floating-point operations for QK, exp, SV and the final division.
+    kv_elements_loaded:
+        Number of K plus V elements that must be read from off-chip memory by
+        an ideal implementation (each element exactly once).
+    """
+
+    seq_len: int
+    window: int
+    head_dim: int
+    score_elements: int
+    flops: int
+    kv_elements_loaded: int
+
+
+def banded_stats(seq_len: int, window: int, head_dim: int) -> BandedStats:
+    """Return the operation counts of ideal banded window attention."""
+    if seq_len <= 0 or head_dim <= 0:
+        raise ValueError("seq_len and head_dim must be positive")
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    rows = np.arange(seq_len)
+    lo = np.maximum(0, rows - window)
+    hi = np.minimum(seq_len, rows + window + 1)
+    band_sizes = hi - lo
+    score_elements = int(band_sizes.sum())
+    # QK: 2*H flops per score; exp: 1 flop per score; SV: 2*H flops per score;
+    # row sum: 1 flop per score; final division: H flops per row.
+    flops = score_elements * (2 * head_dim + 1 + 2 * head_dim + 1) + seq_len * head_dim
+    kv_elements_loaded = 2 * seq_len * head_dim
+    return BandedStats(
+        seq_len=seq_len,
+        window=window,
+        head_dim=head_dim,
+        score_elements=score_elements,
+        flops=int(flops),
+        kv_elements_loaded=kv_elements_loaded,
+    )

@@ -1,0 +1,34 @@
+"""Baseline accelerators SWAT is compared against.
+
+* :mod:`repro.baselines.butterfly_accel` — the Butterfly FPGA accelerator
+  (Fan et al., MICRO 2022), the paper's main FPGA baseline, with its FFT-BTF
+  and ATTN-BTF engines and the BTF-1 / BTF-2 hybrid layer configurations.
+* :mod:`repro.baselines.projection` — the optimal resource-split projection
+  the paper uses to extend Butterfly's published full-FFT evaluation to the
+  hybrid configurations.
+* :mod:`repro.baselines.dense_fpga` — a dense-attention FPGA baseline built
+  from SWAT-like attention cores without window sparsity, used in ablations.
+"""
+
+from repro.baselines.butterfly_accel import (
+    BTF1,
+    BTF2,
+    FULL_FFT,
+    ButterflyAccelerator,
+    ButterflyModelConfig,
+    ButterflyReport,
+)
+from repro.baselines.projection import EngineAllocation, optimal_split
+from repro.baselines.dense_fpga import DenseFPGABaseline
+
+__all__ = [
+    "ButterflyAccelerator",
+    "ButterflyModelConfig",
+    "ButterflyReport",
+    "FULL_FFT",
+    "BTF1",
+    "BTF2",
+    "EngineAllocation",
+    "optimal_split",
+    "DenseFPGABaseline",
+]

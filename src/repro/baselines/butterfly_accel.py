@@ -1,0 +1,181 @@
+"""Performance/energy model of the Butterfly FPGA accelerator baseline.
+
+The Butterfly accelerator (Fan et al., MICRO 2022) accelerates efficient
+Transformers whose attention is replaced by butterfly/FFT linear transforms.
+It contains two engine types:
+
+* **FFT-BTF** — executes the butterfly-factorised (FFT-style) token mixing,
+  ``O(n log n)`` work per layer;
+* **ATTN-BTF** — executes exact softmax attention, ``O(n^2)`` work per layer.
+
+Full-FFT models are fast but lose accuracy (Table 3); the accuracy-driven
+configurations BTF-1 and BTF-2 replace the last one or two FFT layers with
+exact softmax attention.  Those exact layers inherit the quadratic complexity
+that SWAT avoids, which is why SWAT's speedup over Butterfly grows with the
+input length (Figure 8).
+
+We do not have Butterfly's cycle-accurate simulator, so the two engines'
+effective throughputs (work per cycle with the full resource budget) are
+calibrated such that the projected BTF-1/BTF-2 latencies reproduce the
+speedups the paper reports at the 4096-token Longformer operating point
+(6.7x and 12.2x); every other sequence length then follows from the model.
+The resource split between the engines is chosen per input length by the
+optimal projection of :mod:`repro.baselines.projection`, exactly as described
+in Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+
+from repro.baselines.projection import EngineAllocation, optimal_split
+from repro.fpga.device import VCU128, FPGADevice
+
+__all__ = [
+    "ButterflyModelConfig",
+    "FULL_FFT",
+    "BTF1",
+    "BTF2",
+    "ButterflyReport",
+    "ButterflyAccelerator",
+]
+
+
+@dataclass(frozen=True)
+class ButterflyModelConfig:
+    """A Butterfly network configuration (how many layers use exact attention).
+
+    Attributes
+    ----------
+    name:
+        Configuration label used in the paper ("Full-FFT", "BTF-1", "BTF-2").
+    num_layers:
+        Total encoder layers of the model.
+    num_softmax_layers:
+        Layers whose attention is the exact softmax kind (ATTN-BTF work);
+        the remaining layers run on the FFT-BTF engine.
+    """
+
+    name: str
+    num_layers: int = 6
+    num_softmax_layers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if not 0 <= self.num_softmax_layers <= self.num_layers:
+            raise ValueError("num_softmax_layers must be within [0, num_layers]")
+
+    @property
+    def num_fft_layers(self) -> int:
+        """Layers executed by the FFT-BTF engine."""
+        return self.num_layers - self.num_softmax_layers
+
+
+#: The three configurations studied in Section 5 of the paper.
+FULL_FFT = ButterflyModelConfig(name="Full-FFT", num_softmax_layers=0)
+BTF1 = ButterflyModelConfig(name="BTF-1", num_softmax_layers=1)
+BTF2 = ButterflyModelConfig(name="BTF-2", num_softmax_layers=2)
+
+
+@dataclass(frozen=True)
+class ButterflyReport:
+    """Latency/energy of running one model forward pass's attention layers.
+
+    Attributes
+    ----------
+    seq_len:
+        Input sequence length.
+    config:
+        The Butterfly configuration evaluated.
+    cycles:
+        Total attention-layer cycles at the optimal engine split.
+    seconds:
+        Wall-clock time at the accelerator clock.
+    energy_joules:
+        Energy at the modelled board power.
+    allocation:
+        The optimal FFT/ATTN resource split used for this input length.
+    """
+
+    seq_len: int
+    config: ButterflyModelConfig
+    cycles: float
+    seconds: float
+    energy_joules: float
+    allocation: EngineAllocation
+
+
+class ButterflyAccelerator:
+    """Analytical model of the Butterfly accelerator's attention layers."""
+
+    #: Effective FLOPs per cycle of the ATTN-BTF engine with the full resource
+    #: budget (calibrated to the 4096-token speedups of Figure 8).
+    ATTN_ENGINE_FLOPS_PER_CYCLE = 169.0
+    #: Effective FLOPs per cycle of the FFT-BTF engine with the full budget.
+    FFT_ENGINE_FLOPS_PER_CYCLE = 124.0
+    #: Board power of the FP16 120-BE Butterfly design (XPE-style estimate at
+    #: its lower clock; calibrated to the Figure 9 energy-efficiency ratios).
+    BOARD_POWER_W = 14.0
+
+    def __init__(
+        self,
+        head_dim: int = 64,
+        clock_mhz: float = 300.0,
+        device: FPGADevice = VCU128,
+    ):
+        if head_dim <= 0:
+            raise ValueError("head_dim must be positive")
+        if clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        self.head_dim = head_dim
+        self.clock_mhz = clock_mhz
+        self.device = device
+
+    # ------------------------------------------------------------------ #
+    # Per-layer work
+    # ------------------------------------------------------------------ #
+
+    def attention_layer_flops(self, seq_len: int) -> float:
+        """FLOPs of one exact softmax attention layer (QK + SV, one head)."""
+        self._check_seq_len(seq_len)
+        return 4.0 * self.head_dim * float(seq_len) ** 2
+
+    def fft_layer_flops(self, seq_len: int) -> float:
+        """FLOPs of one butterfly/FFT mixing layer (one head)."""
+        self._check_seq_len(seq_len)
+        return 4.0 * self.head_dim * seq_len * max(1.0, log2(seq_len))
+
+    # ------------------------------------------------------------------ #
+    # Model-level latency / energy
+    # ------------------------------------------------------------------ #
+
+    def run(self, seq_len: int, config: ButterflyModelConfig = BTF1) -> ButterflyReport:
+        """Project the attention-layer latency/energy of ``config`` at ``seq_len``."""
+        self._check_seq_len(seq_len)
+        attn_work = config.num_softmax_layers * self.attention_layer_flops(seq_len)
+        fft_work = config.num_fft_layers * self.fft_layer_flops(seq_len)
+        allocation = optimal_split(
+            attn_work=attn_work,
+            attn_peak_per_cycle=self.ATTN_ENGINE_FLOPS_PER_CYCLE,
+            fft_work=fft_work,
+            fft_peak_per_cycle=self.FFT_ENGINE_FLOPS_PER_CYCLE,
+        )
+        seconds = allocation.total_cycles / (self.clock_mhz * 1.0e6)
+        return ButterflyReport(
+            seq_len=seq_len,
+            config=config,
+            cycles=allocation.total_cycles,
+            seconds=seconds,
+            energy_joules=self.BOARD_POWER_W * seconds,
+            allocation=allocation,
+        )
+
+    def latency_seconds(self, seq_len: int, config: ButterflyModelConfig = BTF1) -> float:
+        """Convenience accessor for the projected latency."""
+        return self.run(seq_len, config).seconds
+
+    def _check_seq_len(self, seq_len: int) -> None:
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")

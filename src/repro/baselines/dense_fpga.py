@@ -1,0 +1,61 @@
+"""A dense-attention FPGA baseline built from SWAT-style attention cores.
+
+This baseline answers the ablation question "how much of SWAT's advantage
+comes from the window sparsity itself?": it reuses the same attention-core
+array, clock and pipeline initiation interval as SWAT, but attends every key
+(dense softmax attention).  Each query row therefore needs
+``ceil(seq_len / num_cores)`` passes through the core array instead of one,
+so its latency grows quadratically with the sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.core.config import SWATConfig
+from repro.core.pipeline import SWATPipelineModel
+from repro.core.power import PowerModel
+
+__all__ = ["DenseFPGAReport", "DenseFPGABaseline"]
+
+
+@dataclass(frozen=True)
+class DenseFPGAReport:
+    """Latency/energy of dense attention on the SWAT-like core array."""
+
+    seq_len: int
+    passes_per_row: int
+    cycles: int
+    seconds: float
+    energy_joules: float
+
+
+class DenseFPGABaseline:
+    """Dense softmax attention mapped onto a SWAT-sized attention-core array."""
+
+    def __init__(self, config: "SWATConfig | None" = None):
+        self.config = config if config is not None else SWATConfig()
+        self.pipeline = SWATPipelineModel(self.config)
+        self.power_model = PowerModel(self.config)
+
+    def run(self, seq_len: int, num_heads: int = 1) -> DenseFPGAReport:
+        """Model dense attention over ``seq_len`` tokens on the core array."""
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        if num_heads <= 0:
+            raise ValueError("num_heads must be positive")
+        cores = self.config.num_attention_cores
+        passes = max(1, ceil(seq_len / cores))
+        ii = self.pipeline.initiation_interval
+        fill = self.pipeline.timing.pipeline_depth_cycles
+        heads_per_pipeline = ceil(num_heads / self.config.num_pipelines)
+        cycles = heads_per_pipeline * (fill + (seq_len * passes - 1) * ii)
+        seconds = cycles * self.config.clock_period_s
+        return DenseFPGAReport(
+            seq_len=seq_len,
+            passes_per_row=passes,
+            cycles=cycles,
+            seconds=seconds,
+            energy_joules=self.power_model.total_power_w * seconds,
+        )

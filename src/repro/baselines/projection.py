@@ -1,0 +1,99 @@
+"""Optimal resource-split projection between two accelerator engines.
+
+The Butterfly accelerator contains two engine types: FFT-BTF (fast, FFT-style
+approximate attention) and ATTN-BTF (exact softmax attention).  Its published
+evaluation covers only the full-FFT configuration, so the paper *projects* the
+hybrid BTF-1/BTF-2 performance "by computing the optimal ratio of resource
+distribution for FFT-BTF and ATTN-BTF engines at different input lengths"
+(Section 5.3).  This module implements that projection.
+
+With a fraction ``alpha`` of the compute resources given to the ATTN engine,
+the total model latency is::
+
+    T(alpha) = attn_work / (alpha * attn_peak) + fft_work / ((1 - alpha) * fft_peak)
+
+which is minimised at ``alpha* = sqrt(A) / (sqrt(A) + sqrt(B))`` with
+``A = attn_work / attn_peak`` and ``B = fft_work / fft_peak``, giving the
+closed-form optimum ``T* = (sqrt(A) + sqrt(B))^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+__all__ = ["EngineAllocation", "optimal_split"]
+
+
+@dataclass(frozen=True)
+class EngineAllocation:
+    """Result of the optimal two-engine resource split.
+
+    Attributes
+    ----------
+    attn_fraction:
+        Fraction of compute resources allocated to the exact-attention engine.
+    fft_fraction:
+        Fraction allocated to the FFT engine.
+    total_cycles:
+        Minimised total latency in cycles.
+    attn_cycles, fft_cycles:
+        Per-engine contributions at the optimal split.
+    """
+
+    attn_fraction: float
+    fft_fraction: float
+    total_cycles: float
+    attn_cycles: float
+    fft_cycles: float
+
+
+def optimal_split(
+    attn_work: float,
+    attn_peak_per_cycle: float,
+    fft_work: float,
+    fft_peak_per_cycle: float,
+) -> EngineAllocation:
+    """Return the latency-optimal resource split between the two engines.
+
+    Parameters
+    ----------
+    attn_work:
+        Total work (e.g. FLOPs) of the exact softmax-attention layers.
+    attn_peak_per_cycle:
+        Work per cycle of the ATTN engine when given *all* resources.
+    fft_work:
+        Total work of the FFT/butterfly layers.
+    fft_peak_per_cycle:
+        Work per cycle of the FFT engine when given all resources.
+
+    Either work term may be zero (pure configurations); the corresponding
+    engine then receives no resources.
+    """
+    if attn_work < 0 or fft_work < 0:
+        raise ValueError("work terms must be non-negative")
+    if attn_peak_per_cycle <= 0 or fft_peak_per_cycle <= 0:
+        raise ValueError("engine peak throughputs must be positive")
+
+    if attn_work == 0 and fft_work == 0:
+        return EngineAllocation(0.0, 0.0, 0.0, 0.0, 0.0)
+    if attn_work == 0:
+        cycles = fft_work / fft_peak_per_cycle
+        return EngineAllocation(0.0, 1.0, cycles, 0.0, cycles)
+    if fft_work == 0:
+        cycles = attn_work / attn_peak_per_cycle
+        return EngineAllocation(1.0, 0.0, cycles, cycles, 0.0)
+
+    a = attn_work / attn_peak_per_cycle
+    b = fft_work / fft_peak_per_cycle
+    attn_fraction = sqrt(a) / (sqrt(a) + sqrt(b))
+    fft_fraction = 1.0 - attn_fraction
+    attn_cycles = a / attn_fraction
+    fft_cycles = b / fft_fraction
+    return EngineAllocation(
+        attn_fraction=attn_fraction,
+        fft_fraction=fft_fraction,
+        total_cycles=attn_cycles + fft_cycles,
+        attn_cycles=attn_cycles,
+        fft_cycles=fft_cycles,
+    )

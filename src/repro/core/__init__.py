@@ -1,0 +1,36 @@
+"""The SWAT accelerator model — the paper's core contribution.
+
+This package contains the design-time configuration (:mod:`repro.core.config`),
+the microarchitectural building blocks (FIFO K/V buffers, attention cores,
+pipeline stage timing), the cycle-accurate simulator, and the resource and
+power estimators that back Tables 1 and 2 and Figures 3, 8 and 9 of the paper.
+"""
+
+from repro.core.config import SWATConfig
+from repro.core.fifo import KVFifoBuffer
+from repro.core.attention_core import AttentionCore, CoreKind
+from repro.core.pipeline import PipelineTiming, SWATPipelineModel
+from repro.core.scheduler import RowPlan, RowMajorScheduler
+from repro.core.simulator import SimulationResult, SWATSimulator, TimingReport
+from repro.core.functional import swat_functional_attention
+from repro.core.resources import ResourceEstimate, estimate_resources
+from repro.core.power import PowerBreakdown, PowerModel
+
+__all__ = [
+    "SWATConfig",
+    "KVFifoBuffer",
+    "AttentionCore",
+    "CoreKind",
+    "PipelineTiming",
+    "SWATPipelineModel",
+    "RowPlan",
+    "RowMajorScheduler",
+    "SimulationResult",
+    "TimingReport",
+    "SWATSimulator",
+    "swat_functional_attention",
+    "ResourceEstimate",
+    "estimate_resources",
+    "PowerBreakdown",
+    "PowerModel",
+]

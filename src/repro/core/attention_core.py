@@ -1,0 +1,129 @@
+"""The attention core — SWAT's minimal computational unit.
+
+An attention core (Figure 5/6 of the paper) owns the K row and V row of one
+attended key position, kept in a local BRAM buffer.  When a query row arrives
+it computes, entirely locally:
+
+1. the dot product ``S_ij = Q_i · K_j`` (QK stage),
+2. the softmax numerator ``S'_ij = exp(S_ij)`` (SV stage, first half), and
+3. its slice of the un-normalised output ``S'_ij * V_j`` (SV stage).
+
+The per-core slices and the per-core ``S'`` values are then reduced outside
+the cores (Z-reduction and Row-sum stages) and finally divided (DIV & OUT).
+
+The class below is the functional model of that unit.  It optionally rounds
+every intermediate to the configured precision so the FP16 datapath error can
+be measured, and it counts the MAC operations it performs so tests can check
+the work distribution across cores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numerics.floating import FP64, Precision, quantize
+
+__all__ = ["CoreKind", "CoreOutput", "AttentionCore"]
+
+
+class CoreKind(enum.Enum):
+    """What a core's K/V buffer holds and how it is refreshed (Figure 7)."""
+
+    #: K/V loaded according to the row index (FIFO replacement).
+    WINDOW = "window"
+    #: K/V of a global token, pre-loaded once before the computation starts.
+    GLOBAL = "global"
+    #: K/V reloaded every row according to the static random pattern.
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class CoreOutput:
+    """Per-core products for one query row.
+
+    Attributes
+    ----------
+    key_index:
+        The key position this core currently holds.
+    score:
+        ``S_ij`` — the scaled Q·K dot product.
+    weight:
+        ``S'_ij = exp(S_ij)`` — the softmax numerator.
+    z_slice:
+        ``S'_ij * V_j`` — this core's contribution to the output row.
+    """
+
+    key_index: int
+    score: float
+    weight: float
+    z_slice: np.ndarray
+
+
+class AttentionCore:
+    """Functional model of one SWAT attention core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        kind: CoreKind = CoreKind.WINDOW,
+        precision: Precision = FP64,
+    ):
+        if core_id < 0:
+            raise ValueError(f"core_id must be non-negative, got {core_id}")
+        self.core_id = core_id
+        self.kind = kind
+        self.precision = precision
+        self._k_row: "np.ndarray | None" = None
+        self._v_row: "np.ndarray | None" = None
+        self._key_index: int = -1
+        self.loads = 0
+        self.mac_ops = 0
+
+    @property
+    def key_index(self) -> int:
+        """Key position currently resident, or -1 when empty."""
+        return self._key_index
+
+    @property
+    def is_loaded(self) -> bool:
+        """True when a K/V pair is resident."""
+        return self._k_row is not None
+
+    def load_kv(self, key_index: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
+        """Refresh the core's K/V buffer with the rows of ``key_index``."""
+        k_row = np.asarray(k_row, dtype=np.float64)
+        v_row = np.asarray(v_row, dtype=np.float64)
+        if k_row.ndim != 1 or v_row.shape != k_row.shape:
+            raise ValueError("k_row and v_row must be 1-D and of identical shape")
+        if key_index < 0:
+            raise ValueError("key_index must be non-negative")
+        self._k_row = quantize(k_row, self.precision)
+        self._v_row = quantize(v_row, self.precision)
+        self._key_index = key_index
+        self.loads += 1
+
+    def compute(self, q_row: np.ndarray, scale: float) -> CoreOutput:
+        """Run the QK and SV work of this core for one query row.
+
+        The intermediate score, exponential and product are each rounded to
+        the core's precision, mirroring the hardware datapath.
+        """
+        if not self.is_loaded:
+            raise RuntimeError(f"attention core {self.core_id} computed before any K/V load")
+        q_row = quantize(np.asarray(q_row, dtype=np.float64), self.precision)
+        if q_row.shape != self._k_row.shape:
+            raise ValueError(
+                f"q_row shape {q_row.shape} does not match K row shape {self._k_row.shape}"
+            )
+        head_dim = q_row.shape[0]
+        score = float(quantize(np.dot(q_row, self._k_row) * scale, self.precision))
+        weight = float(quantize(np.exp(score), self.precision))
+        z_slice = quantize(weight * self._v_row, self.precision)
+        # One MAC per K element for QK plus one multiply per V element for SV.
+        self.mac_ops += 2 * head_dim
+        return CoreOutput(
+            key_index=self._key_index, score=score, weight=weight, z_slice=z_slice
+        )

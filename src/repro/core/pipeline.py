@@ -1,0 +1,238 @@
+"""Pipeline-stage latency model of the SWAT microarchitecture.
+
+SWAT processes one query row per pipeline slot.  The pipeline has eight
+stages (Figure 6 / Table 1 of the paper):
+
+======================  ====================================================
+Stage                   Work per query row
+======================  ====================================================
+LOAD                    Fetch the new K/V row(s) into the attention cores'
+                        buffers and broadcast the Q row.
+QK                      Per-core dot product ``S_j = Q_i · K_j``.
+SV                      Per-core ``exp(S_j)`` and multiply with the local V
+                        row, producing one Z slice per core.
+ZRED1 / ZRED2           Two-phase reduction of the per-core Z slices into the
+                        output vector (grouped by H for timing balance).
+ROWSUM1 / ROWSUM2       Two-phase reduction of the per-core ``S'`` values
+                        into the softmax denominator.
+DIV & OUT               Divide the Z vector by the row sum and write it back.
+======================  ====================================================
+
+Each stage latency is expressed with the HLS formula ``trip_count * II +
+depth`` using the operator table of :mod:`repro.fpga.hls`, plus a small fixed
+overhead per stage taken from the Vitis HLS synthesis report of the paper
+(Table 1).  With the default configuration (FP16, H = 64, 2w = 512) the model
+reproduces Table 1 exactly; changing H, the window width, the precision or
+enabling random attention re-times every stage accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.core.config import SWATConfig
+from repro.fpga.hls import operator_latency, pipelined_loop_cycles
+
+__all__ = ["STAGE_NAMES", "PipelineTiming", "SWATPipelineModel"]
+
+#: Pipeline stages in dataflow order.  ROWSUM1/2 run in parallel with ZRED1/2
+#: but are listed explicitly because Table 1 reports them separately.
+STAGE_NAMES = (
+    "LOAD",
+    "QK",
+    "SV",
+    "ZRED1",
+    "ZRED2",
+    "ROWSUM1",
+    "ROWSUM2",
+    "DIV&OUT",
+)
+
+#: Fixed per-stage overheads (cycles) beyond the ``trip_count * II + depth``
+#: loop term: control FSM entry/exit and AXI burst setup, calibrated against
+#: the Vitis HLS report reproduced in Table 1 of the paper.
+_STAGE_FIXED_OVERHEAD = {
+    "LOAD": 0,
+    "QK": 0,
+    "SV": 0,
+    "ZRED1": 0,
+    "ZRED2": 0,
+    "ROWSUM1": 0,
+    "ROWSUM2": 0,
+    "DIV&OUT": 39,
+}
+
+
+@dataclass(frozen=True)
+class PipelineTiming:
+    """Latency of every stage plus the derived whole-pipeline quantities.
+
+    Attributes
+    ----------
+    stage_cycles:
+        Mapping of stage name to its latency in cycles.
+    initiation_interval:
+        Cycles between the start of two consecutive query rows — the latency
+        of the slowest stage (201 for FP16 defaults, 264 for FP32).
+    pipeline_depth_cycles:
+        Time for the very first row to traverse all stages (pipeline fill).
+    """
+
+    stage_cycles: "dict[str, int]"
+    initiation_interval: int
+    pipeline_depth_cycles: int
+
+    @property
+    def bottleneck_stage(self) -> str:
+        """Name of the stage whose latency sets the initiation interval."""
+        return max(self.stage_cycles, key=self.stage_cycles.get)
+
+    def as_table_rows(self) -> "list[tuple[str, int]]":
+        """Return (stage, cycles) rows in dataflow order (Table 1 layout)."""
+        return [(name, self.stage_cycles[name]) for name in STAGE_NAMES]
+
+
+class SWATPipelineModel:
+    """Derives stage latencies and end-to-end cycle counts for a config."""
+
+    def __init__(self, config: SWATConfig):
+        self.config = config
+        self._timing = self._build_timing()
+
+    # ------------------------------------------------------------------ #
+    # Stage latency derivation
+    # ------------------------------------------------------------------ #
+
+    def _build_timing(self) -> PipelineTiming:
+        config = self.config
+        precision = config.precision
+        head_dim = config.head_dim
+
+        mac = operator_latency("mac", precision)
+        exp = operator_latency("exp", precision)
+        add = operator_latency("add", precision)
+        div = operator_latency("div", precision)
+        load = operator_latency("load", precision)
+
+        # LOAD: stream one K row and one V row (head_dim elements each, the
+        # two ports of the BRAM are written in parallel) plus the broadcast of
+        # the Q row, II = 1.  With random attention cores the refresh gathers
+        # from non-contiguous HBM addresses every row, which the HLS schedule
+        # can only pipeline at II = 3 (address generation + outstanding-read
+        # limit), raising the stage from 66 to 195 cycles as in Section 4.1.
+        if config.has_random_attention:
+            load_cycles = pipelined_loop_cycles(head_dim, 3, 3)
+        else:
+            load_cycles = pipelined_loop_cycles(head_dim, load.initiation_interval, load.depth)
+
+        # QK: each core runs one MAC over the head dimension.
+        qk_cycles = pipelined_loop_cycles(head_dim, mac.initiation_interval, mac.depth)
+
+        # SV: exponential of the score followed by head_dim multiplies with
+        # the resident V row; the multiply loop dominates and is pipelined at
+        # the MAC initiation interval, with the exp unit's depth as drain.
+        sv_cycles = pipelined_loop_cycles(head_dim, mac.initiation_interval, exp.depth)
+
+        # ZRED1: the per-core Z slices are grouped by H cores per group; each
+        # group owns H accumulation channels, so the latency is one MAC-rate
+        # pass over H elements (paper: "approximately 3*H cycles").
+        zred1_cycles = pipelined_loop_cycles(head_dim, mac.initiation_interval, 3)
+
+        # ZRED2: combine the per-group partial vectors.  Each of the H output
+        # channels is produced once per cycle by an adder tree over the
+        # groups, so the trip count is H at II = 1.
+        zred2_cycles = pipelined_loop_cycles(head_dim, 1, add.depth - 3)
+
+        # ROWSUM1: same grouping as ZRED1 but reducing scalars (the S'
+        # values), again one MAC-rate pass over H elements per group.
+        rowsum1_cycles = pipelined_loop_cycles(head_dim, mac.initiation_interval, 3)
+
+        # ROWSUM2: accumulate the per-group partial sums sequentially.
+        num_groups = max(1, ceil(config.num_attention_cores / head_dim))
+        rowsum2_cycles = pipelined_loop_cycles(num_groups, mac.initiation_interval, 3)
+
+        # DIV & OUT: divide the H output elements at the divider II and write
+        # the row back over AXI (burst setup accounted as fixed overhead).
+        div_cycles = (
+            pipelined_loop_cycles(head_dim, div.initiation_interval, div.depth)
+            + _STAGE_FIXED_OVERHEAD["DIV&OUT"]
+        )
+
+        stage_cycles = {
+            "LOAD": load_cycles + _STAGE_FIXED_OVERHEAD["LOAD"],
+            "QK": qk_cycles + _STAGE_FIXED_OVERHEAD["QK"],
+            "SV": sv_cycles + _STAGE_FIXED_OVERHEAD["SV"],
+            "ZRED1": zred1_cycles + _STAGE_FIXED_OVERHEAD["ZRED1"],
+            "ZRED2": zred2_cycles + _STAGE_FIXED_OVERHEAD["ZRED2"],
+            "ROWSUM1": rowsum1_cycles + _STAGE_FIXED_OVERHEAD["ROWSUM1"],
+            "ROWSUM2": rowsum2_cycles + _STAGE_FIXED_OVERHEAD["ROWSUM2"],
+            "DIV&OUT": div_cycles,
+        }
+        initiation_interval = max(stage_cycles.values())
+        # ROWSUM1/2 run concurrently with ZRED1/2 (Figure 6), so the pipeline
+        # fill time counts the longer of the two reduction paths only.
+        reduction_path = max(
+            stage_cycles["ZRED1"] + stage_cycles["ZRED2"],
+            stage_cycles["ROWSUM1"] + stage_cycles["ROWSUM2"],
+        )
+        pipeline_depth = (
+            stage_cycles["LOAD"]
+            + stage_cycles["QK"]
+            + stage_cycles["SV"]
+            + reduction_path
+            + stage_cycles["DIV&OUT"]
+        )
+        return PipelineTiming(
+            stage_cycles=stage_cycles,
+            initiation_interval=initiation_interval,
+            pipeline_depth_cycles=pipeline_depth,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived whole-computation quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def timing(self) -> PipelineTiming:
+        """Per-stage timing of this configuration."""
+        return self._timing
+
+    @property
+    def initiation_interval(self) -> int:
+        """Cycles between consecutive query rows."""
+        return self._timing.initiation_interval
+
+    def cycles_for_rows(self, num_rows: int) -> int:
+        """Total cycles to process ``num_rows`` query rows on one pipeline."""
+        if num_rows < 0:
+            raise ValueError("num_rows must be non-negative")
+        if num_rows == 0:
+            return 0
+        return self._timing.pipeline_depth_cycles + (num_rows - 1) * self.initiation_interval
+
+    def attention_cycles(self, seq_len: int, num_heads: int = 1) -> int:
+        """Cycles for one attention over ``seq_len`` tokens and ``num_heads`` heads.
+
+        Heads are independent and identical, so they are distributed across
+        the replicated pipelines and serialised within each.
+        """
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        if num_heads <= 0:
+            raise ValueError("num_heads must be positive")
+        heads_per_pipeline = ceil(num_heads / self.config.num_pipelines)
+        return heads_per_pipeline * self.cycles_for_rows(seq_len)
+
+    def attention_latency_seconds(self, seq_len: int, num_heads: int = 1) -> float:
+        """Wall-clock latency of one attention at the configured clock."""
+        return self.attention_cycles(seq_len, num_heads) * self.config.clock_period_s
+
+    def stage_utilisation(self) -> "dict[str, float]":
+        """Fraction of the initiation interval each stage is busy.
+
+        A perfectly balanced pipeline would have every value at 1.0; the
+        paper's design is dominated by the QK stage (II = 201 in FP16).
+        """
+        ii = self.initiation_interval
+        return {name: cycles / ii for name, cycles in self._timing.stage_cycles.items()}

@@ -1,0 +1,83 @@
+"""Power and energy estimation for SWAT (the Xilinx Power Estimator substitute).
+
+The paper evaluates SWAT's power with the Xilinx Power Estimator (XPE).  We
+replace it with a per-resource dynamic-power model: every DSP slice, BRAM
+block, LUT and flip-flop contributes an effective (toggling-inclusive) dynamic
+power at the kernel clock, on top of the device static power and the HBM
+interface power.  The coefficients are calibrated so that the standard FP16
+and FP32 SWAT configurations land at the power levels implied by the paper's
+energy-efficiency ratios against the 300 W MI210 (Figures 3 and 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SWATConfig
+from repro.core.resources import ResourceEstimate, estimate_resources
+
+__all__ = ["PowerBreakdown", "PowerModel"]
+
+#: Effective dynamic power per resource at the 300 MHz reference clock.
+_DSP_W = 4.0e-3
+_BRAM_W = 4.0e-3
+_LUT_W = 8.0e-6
+_FF_W = 1.5e-6
+#: HBM controller + PHY power while streaming.
+_HBM_INTERFACE_W = 6.0
+#: Reference clock the coefficients are calibrated at.
+_REFERENCE_CLOCK_MHZ = 300.0
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power contributions of one SWAT configuration, in watts."""
+
+    static_w: float
+    dsp_w: float
+    bram_w: float
+    lut_w: float
+    ff_w: float
+    hbm_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        """Dynamic (clock-dependent) power."""
+        return self.dsp_w + self.bram_w + self.lut_w + self.ff_w + self.hbm_w
+
+    @property
+    def total_w(self) -> float:
+        """Total board power."""
+        return self.static_w + self.dynamic_w
+
+
+class PowerModel:
+    """Estimates power and per-attention energy of a SWAT configuration."""
+
+    def __init__(self, config: SWATConfig, resources: "ResourceEstimate | None" = None):
+        self.config = config
+        self.resources = resources if resources is not None else estimate_resources(config)
+
+    def breakdown(self) -> PowerBreakdown:
+        """Return the per-resource power breakdown."""
+        clock_scale = self.config.clock_mhz / _REFERENCE_CLOCK_MHZ
+        resources = self.resources
+        return PowerBreakdown(
+            static_w=self.config.device.static_power_w,
+            dsp_w=resources.dsp * _DSP_W * clock_scale,
+            bram_w=resources.bram * _BRAM_W * clock_scale,
+            lut_w=resources.lut * _LUT_W * clock_scale,
+            ff_w=resources.ff * _FF_W * clock_scale,
+            hbm_w=_HBM_INTERFACE_W,
+        )
+
+    @property
+    def total_power_w(self) -> float:
+        """Total board power in watts."""
+        return self.breakdown().total_w
+
+    def energy_joules(self, latency_seconds: float) -> float:
+        """Energy to run for ``latency_seconds`` at the estimated power."""
+        if latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+        return self.total_power_w * latency_seconds

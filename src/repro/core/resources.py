@@ -1,0 +1,146 @@
+"""FPGA resource estimation for SWAT configurations (Table 2).
+
+The estimator charges a per-attention-core cost (which depends on the
+precision and on the core kind — window cores carry FIFO replacement logic,
+global cores do not, random cores add address generation) plus a fixed cost
+for the shared reduction trees, divider, control and the HBM/AXI interface.
+The per-core coefficients are calibrated against the post-synthesis
+utilisation reported in Table 2 of the paper for the Alveo U55C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SWATConfig
+from repro.fpga.bram import kv_buffer_blocks
+from repro.numerics.floating import FP16
+
+__all__ = ["CoreResourceCost", "ResourceEstimate", "estimate_resources", "BUTTERFLY_REFERENCE_USAGE"]
+
+
+@dataclass(frozen=True)
+class CoreResourceCost:
+    """Per-attention-core resource cost at one precision."""
+
+    dsp: int
+    lut: int
+    ff: int
+
+
+#: Calibrated per-core costs.  An FP16 core spends one DSP pair plus LUT logic
+#: on the MAC, one DSP on the SV multiply, and LUT/FF on the exp unit and the
+#: local control; FP32 arithmetic roughly doubles the DSP count per operator
+#: and widens every datapath register.
+_WINDOW_CORE_COST = {
+    "fp16": CoreResourceCost(dsp=3, lut=900, ff=520),
+    "fp32": CoreResourceCost(dsp=8, lut=1650, ff=1130),
+}
+
+#: Global cores have no FIFO-replacement / address logic: cheaper in LUT/FF.
+_GLOBAL_CORE_COST = {
+    "fp16": CoreResourceCost(dsp=3, lut=500, ff=430),
+    "fp32": CoreResourceCost(dsp=8, lut=1100, ff=1000),
+}
+
+#: Random cores share one gather address generator per group, so their
+#: per-core logic is slightly below a window core's FIFO-replacement logic.
+_RANDOM_CORE_COST = {
+    "fp16": CoreResourceCost(dsp=3, lut=800, ff=540),
+    "fp32": CoreResourceCost(dsp=8, lut=1500, ff=1150),
+}
+
+#: Fixed cost of the shared logic: Z-reduction and row-sum trees, divider,
+#: FIFO pointer control, and the HBM/AXI streaming infrastructure.
+_FIXED_COST = {
+    "fp16": CoreResourceCost(dsp=180, lut=35_000, ff=21_000),
+    "fp32": CoreResourceCost(dsp=350, lut=30_000, ff=21_000),
+}
+
+#: Extra BRAM blocks for the shared S/Z staging buffers per pipeline.
+_FIXED_BRAM_BLOCKS = 4
+
+#: Post-synthesis utilisation of the Butterfly accelerator (FP16, 120 butterfly
+#: engines) on the VCU128, quoted from Table 2 of the paper for comparison.
+BUTTERFLY_REFERENCE_USAGE = {"DSP": 0.32, "LUT": 0.79, "FF": 0.63, "BRAM": 0.49}
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Absolute resource counts and fractional utilisation of one design.
+
+    Attributes
+    ----------
+    dsp, lut, ff, bram:
+        Absolute resource usage.
+    utilisation:
+        Fraction of the target device used, per resource class.
+    """
+
+    config: SWATConfig
+    dsp: int
+    lut: int
+    ff: int
+    bram: int
+
+    @property
+    def utilisation(self) -> "dict[str, float]":
+        """Fractional device utilisation per resource class."""
+        return self.config.device.utilisation(dsp=self.dsp, lut=self.lut, ff=self.ff, bram=self.bram)
+
+    @property
+    def fits(self) -> bool:
+        """True when the design fits on the configured device."""
+        return self.config.device.fits(dsp=self.dsp, lut=self.lut, ff=self.ff, bram=self.bram)
+
+    def utilisation_percent(self) -> "dict[str, float]":
+        """Utilisation as percentages (Table 2 units)."""
+        return {key: 100.0 * value for key, value in self.utilisation.items()}
+
+
+def estimate_resources(config: SWATConfig) -> ResourceEstimate:
+    """Estimate the post-synthesis resource usage of ``config``.
+
+    The estimate is per the whole design: ``num_pipelines`` replicas of the
+    attention-core array plus one copy of the shared fixed logic per pipeline
+    (each pipeline has its own reduction tree and divider) and one copy of the
+    memory interface.
+    """
+    key = config.precision.name
+    if key not in _WINDOW_CORE_COST:
+        raise ValueError(f"no resource data for precision {key!r}")
+
+    window_cost = _WINDOW_CORE_COST[key]
+    global_cost = _GLOBAL_CORE_COST[key]
+    random_cost = _RANDOM_CORE_COST[key]
+    fixed_cost = _FIXED_COST[key]
+
+    per_pipeline_dsp = (
+        config.num_window_cores * window_cost.dsp
+        + config.num_global_tokens * global_cost.dsp
+        + config.num_random_tokens * random_cost.dsp
+        + fixed_cost.dsp
+    )
+    per_pipeline_lut = (
+        config.num_window_cores * window_cost.lut
+        + config.num_global_tokens * global_cost.lut
+        + config.num_random_tokens * random_cost.lut
+        + fixed_cost.lut
+    )
+    per_pipeline_ff = (
+        config.num_window_cores * window_cost.ff
+        + config.num_global_tokens * global_cost.ff
+        + config.num_random_tokens * random_cost.ff
+        + fixed_cost.ff
+    )
+    blocks_per_core = kv_buffer_blocks(config.head_dim, config.precision)
+    per_pipeline_bram = config.num_attention_cores * blocks_per_core + _FIXED_BRAM_BLOCKS
+
+    n = config.num_pipelines
+    return ResourceEstimate(
+        config=config,
+        dsp=n * per_pipeline_dsp,
+        lut=n * per_pipeline_lut,
+        ff=n * per_pipeline_ff,
+        bram=n * per_pipeline_bram,
+    )

@@ -1,0 +1,289 @@
+"""Cycle-accurate simulator of the SWAT accelerator.
+
+The simulator combines the three independently-tested models of this package:
+
+* the **scheduler** (:mod:`repro.core.scheduler`) decides, row by row, which
+  keys are attended and which K/V rows are loaded — the row-major,
+  input-stationary dataflow;
+* the **pipeline model** (:mod:`repro.core.pipeline`) prices each row at the
+  stage-level cycle counts of Table 1 and composes them into the end-to-end
+  latency;
+* the **FIFO buffer** (:mod:`repro.core.fifo`) enforces the fixed-size
+  eviction policy and records the off-chip traffic actually incurred, so the
+  "every K/V element is loaded exactly once" property is measured rather than
+  assumed.
+
+Functionally, the simulator executes the fused kernel of
+:mod:`repro.attention.fused` over exactly the keys the hardware would hold in
+its attention cores, and the result is bit-for-bit the same attention output a
+software implementation of window (+ global + random) attention produces —
+which is how the simulator is validated against the dense reference in the
+test-suite.
+
+Two entry points are provided: :meth:`SWATSimulator.run` performs the full
+functional + timing simulation on concrete Q/K/V data, while
+:meth:`SWATSimulator.estimate` produces the timing/energy report analytically
+for any sequence length (used by the long-sequence benchmarks where the
+functional output is irrelevant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.fused import fused_row
+from repro.core.config import SWATConfig
+from repro.core.fifo import FifoStats, KVFifoBuffer
+from repro.core.pipeline import SWATPipelineModel
+from repro.core.power import PowerModel
+from repro.core.resources import ResourceEstimate, estimate_resources
+from repro.core.scheduler import RowMajorScheduler
+from repro.fpga.memory import HBMModel, MemoryTrafficSummary
+
+__all__ = ["TimingReport", "SimulationResult", "SWATSimulator"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Latency, throughput and energy of one attention computation.
+
+    Attributes
+    ----------
+    seq_len, num_heads:
+        Workload dimensions.
+    cycles:
+        Total kernel cycles.
+    seconds:
+        Wall-clock latency at the configured clock.
+    initiation_interval:
+        Cycles between consecutive query rows.
+    stage_cycles:
+        Per-stage latency in cycles (Table 1).
+    power_w:
+        Estimated board power.
+    energy_joules:
+        ``power_w * seconds`` — energy per attention, the Figure 9 metric.
+    """
+
+    seq_len: int
+    num_heads: int
+    cycles: int
+    seconds: float
+    initiation_interval: int
+    stage_cycles: "dict[str, int]"
+    power_w: float
+    energy_joules: float
+
+    @property
+    def cycles_per_row(self) -> float:
+        """Average cycles per query row (approaches the initiation interval)."""
+        return self.cycles / (self.seq_len * max(1, self.num_heads))
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Query rows processed per second."""
+        return self.seq_len * self.num_heads / self.seconds
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything the cycle-accurate run produces.
+
+    Attributes
+    ----------
+    output:
+        The attention output ``Z`` of shape ``(seq_len, head_dim)``.
+    timing:
+        Latency / energy report.
+    traffic:
+        Off-chip traffic summary measured from the load/store events.
+    fifo_stats:
+        Load/eviction counters of the window K/V FIFO.
+    resources:
+        Resource estimate of the simulated configuration.
+    """
+
+    output: np.ndarray
+    timing: TimingReport
+    traffic: MemoryTrafficSummary
+    fifo_stats: FifoStats
+    resources: ResourceEstimate
+
+
+class SWATSimulator:
+    """Cycle-accurate, functionally-exact simulator of one SWAT instance."""
+
+    def __init__(self, config: "SWATConfig | None" = None, hbm: "HBMModel | None" = None):
+        self.config = config if config is not None else SWATConfig()
+        self.pipeline = SWATPipelineModel(self.config)
+        self.resources = estimate_resources(self.config)
+        self.power_model = PowerModel(self.config, self.resources)
+        self.hbm = hbm if hbm is not None else HBMModel(
+            bandwidth_gbps=self.config.device.hbm_bandwidth_gbps,
+            clock_hz=self.config.clock_hz,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Analytical timing (any sequence length)
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, seq_len: int, num_heads: int = 1) -> TimingReport:
+        """Analytical timing/energy report without functional execution."""
+        cycles = self.pipeline.attention_cycles(seq_len, num_heads)
+        seconds = cycles * self.config.clock_period_s
+        power = self.power_model.total_power_w
+        return TimingReport(
+            seq_len=seq_len,
+            num_heads=num_heads,
+            cycles=cycles,
+            seconds=seconds,
+            initiation_interval=self.pipeline.initiation_interval,
+            stage_cycles=dict(self.pipeline.timing.stage_cycles),
+            power_w=power,
+            energy_joules=power * seconds,
+        )
+
+    def estimate_traffic(self, seq_len: int) -> MemoryTrafficSummary:
+        """Analytical off-chip traffic for one head over ``seq_len`` tokens."""
+        scheduler = RowMajorScheduler(self.config, seq_len)
+        traffic = scheduler.traffic_bytes()
+        return MemoryTrafficSummary(
+            q_bytes_loaded=traffic["q"],
+            k_bytes_loaded=traffic["k"],
+            v_bytes_loaded=traffic["v"],
+            output_bytes_stored=traffic["output"],
+            redundant_kv_bytes=traffic["redundant_kv"],
+        )
+
+    def memory_footprint_bytes(self, seq_len: int) -> int:
+        """Off-chip working-set bytes for one attention head.
+
+        SWAT streams Q/K/V and writes Z back; no intermediate score matrix is
+        ever materialised off chip, so the footprint is just the four
+        ``seq_len x head_dim`` matrices at the datapath precision.  This is
+        the quantity plotted for SWAT in Figure 3 (right).
+        """
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        return 4 * seq_len * self.config.kv_row_bytes
+
+    # ------------------------------------------------------------------ #
+    # Full functional + timing simulation
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: "float | None" = None,
+        num_heads: int = 1,
+    ) -> SimulationResult:
+        """Simulate one attention head on concrete data.
+
+        Parameters
+        ----------
+        q, k, v:
+            Arrays of shape ``(seq_len, head_dim)`` with
+            ``head_dim == config.head_dim``.
+        scale:
+            Score scaling factor, default ``1/sqrt(head_dim)``.
+        num_heads:
+            Number of identical heads to account for in the timing report
+            (the functional output is computed for the data of one head).
+        """
+        q = np.asarray(q, dtype=np.float64)
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if q.ndim != 2 or q.shape != k.shape or k.shape[0] != v.shape[0]:
+            raise ValueError("q, k, v must be 2-D with matching shapes for self-attention")
+        if q.shape[1] != self.config.head_dim:
+            raise ValueError(
+                f"head_dim {q.shape[1]} does not match config head_dim {self.config.head_dim}"
+            )
+        seq_len = q.shape[0]
+        if scale is None:
+            scale = 1.0 / np.sqrt(self.config.head_dim)
+
+        scheduler = RowMajorScheduler(self.config, seq_len)
+        window_fifo = KVFifoBuffer(
+            capacity=max(self.config.window_tokens, 1), head_dim=self.config.head_dim
+        )
+
+        # Global-attention cores are pre-loaded before the row loop starts
+        # (Section 4.1: "these buffers are pre-loaded prior to the attention
+        # computation, minimizing performance impact").
+        global_keys = list(scheduler.global_keys)
+        global_k = {key: k[key] for key in global_keys}
+        global_v = {key: v[key] for key in global_keys}
+
+        q_bytes = 0
+        k_bytes = 0
+        v_bytes = 0
+        out_bytes = 0
+        redundant_kv_bytes = 0
+        row_bytes = self.config.kv_row_bytes
+
+        k_bytes += len(global_keys) * row_bytes
+        v_bytes += len(global_keys) * row_bytes
+
+        output = np.empty_like(q)
+        loaded_once: "set[int]" = set(global_keys)
+
+        for plan in scheduler.plans():
+            # LOAD stage: fetch the window keys not yet resident (at steady
+            # state exactly one per row) and refresh the random cores.
+            for key in plan.new_window_keys:
+                window_fifo.insert(key, k[key], v[key])
+                k_bytes += row_bytes
+                v_bytes += row_bytes
+                if key in loaded_once:
+                    redundant_kv_bytes += 2 * row_bytes
+                loaded_once.add(key)
+            random_keys = list(plan.random_keys)
+            for key in random_keys:
+                k_bytes += row_bytes
+                v_bytes += row_bytes
+                if key in loaded_once or key in plan.window_keys:
+                    redundant_kv_bytes += 2 * row_bytes
+                loaded_once.add(key)
+            q_bytes += row_bytes
+
+            # QK / SV / reductions / DIV&OUT: the fused kernel over exactly
+            # the keys resident in the attention cores.
+            window_keys = [key for key in plan.window_keys]
+            k_window, v_window = window_fifo.gather(window_keys)
+            extra_keys = [key for key in sorted(set(global_keys) | set(random_keys)) if key not in plan.window_keys]
+            if extra_keys:
+                k_extra = np.stack(
+                    [global_k[key] if key in global_k else k[key] for key in extra_keys]
+                )
+                v_extra = np.stack(
+                    [global_v[key] if key in global_v else v[key] for key in extra_keys]
+                )
+                k_rows = np.concatenate([k_window, k_extra], axis=0)
+                v_rows = np.concatenate([v_window, v_extra], axis=0)
+            else:
+                k_rows = k_window
+                v_rows = v_window
+            result = fused_row(q[plan.row], k_rows, v_rows, scale=scale, subtract_max=False)
+            output[plan.row] = result.z
+            out_bytes += row_bytes
+
+        timing = self.estimate(seq_len, num_heads=num_heads)
+        traffic = MemoryTrafficSummary(
+            q_bytes_loaded=q_bytes,
+            k_bytes_loaded=k_bytes,
+            v_bytes_loaded=v_bytes,
+            output_bytes_stored=out_bytes,
+            redundant_kv_bytes=redundant_kv_bytes,
+        )
+        return SimulationResult(
+            output=output,
+            timing=timing,
+            traffic=traffic,
+            fifo_stats=window_fifo.stats,
+            resources=self.resources,
+        )

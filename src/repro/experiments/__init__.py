@@ -1,0 +1,48 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each module exposes a ``run()`` function returning the figure's data series or
+the table's rows, plus a ``main()`` entry point that prints them.  The
+benchmark harness under ``benchmarks/`` wraps these same functions so that
+``pytest benchmarks/ --benchmark-only`` both times them and emits the
+regenerated rows/series.
+
+=====================  ==========================================================
+Module                 Paper artefact
+=====================  ==========================================================
+fig1_flops             Figure 1 — FLOPs/MOPs breakdown vs input length
+fig3_latency_memory    Figure 3 — execution time and memory vs input length
+table1_pipeline        Table 1 — pipeline stage timing (cycles)
+table2_resources       Table 2 — FPGA resource utilisation
+table3_lra_accuracy    Table 3 — LRA accuracy gains over full-FFT Butterfly
+table4_vision_accuracy Table 4 — window-attention vs FFT vision accuracy
+fig8_speedup           Figure 8 — speedup of SWAT over BTF-1/BTF-2
+fig9_energy            Figure 9 — energy efficiency vs GPU and Butterfly
+headline               Section 5 headline claims (22x, 5.7x, 15x, ...)
+=====================  ==========================================================
+"""
+
+from repro.experiments import (
+    fig1_flops,
+    fig3_latency_memory,
+    fig8_speedup,
+    fig9_energy,
+    headline,
+    table1_pipeline,
+    table2_resources,
+    table3_lra_accuracy,
+    table4_vision_accuracy,
+)
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "fig1_flops",
+    "fig3_latency_memory",
+    "table1_pipeline",
+    "table2_resources",
+    "table3_lra_accuracy",
+    "table4_vision_accuracy",
+    "fig8_speedup",
+    "fig9_energy",
+    "headline",
+    "run_all",
+]

@@ -1,0 +1,58 @@
+"""Figure 1 — FLOPs and MOPs breakdown of a Transformer layer vs input length.
+
+The paper's motivation figure: with a BERT-base-like dense-attention layer,
+the attention share of both the floating-point operations and the memory
+operations grows with the input length until it dominates, which is what
+makes long-context attention the target worth accelerating.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.workload.flops import op_breakdown_by_length
+from repro.workload.transformer import TransformerSpec
+
+__all__ = ["INPUT_LENGTHS", "run", "main"]
+
+#: The input lengths on the x-axis of Figure 1.
+INPUT_LENGTHS = (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+def run(
+    spec: "TransformerSpec | None" = None,
+    input_lengths: "tuple[int, ...]" = INPUT_LENGTHS,
+) -> "dict[str, Table]":
+    """Regenerate both panels of Figure 1.
+
+    Returns a dict with two tables, ``"flops"`` and ``"mops"``, whose columns
+    are the ratio of each operation group at every input length.
+    """
+    spec = spec if spec is not None else TransformerSpec.bert_base()
+    counts = op_breakdown_by_length(spec, list(input_lengths))
+
+    flops_table = Table(
+        title="Figure 1 (left): FLOPs breakdown per input length",
+        columns=["input_length", "linear", "attention", "ffn"],
+    )
+    mops_table = Table(
+        title="Figure 1 (right): MOPs breakdown per input length",
+        columns=["input_length", "linear", "attention", "ffn"],
+    )
+    for count in counts:
+        flops = count.flops_ratios()
+        mops = count.mops_ratios()
+        flops_table.add_row(count.seq_len, flops["linear"], flops["attention"], flops["ffn"])
+        mops_table.add_row(count.seq_len, mops["linear"], mops["attention"], mops["ffn"])
+    return {"flops": flops_table, "mops": mops_table}
+
+
+def main() -> None:
+    """Print both Figure 1 panels."""
+    tables = run()
+    print(tables["flops"].render())
+    print()
+    print(tables["mops"].render())
+
+
+if __name__ == "__main__":
+    main()

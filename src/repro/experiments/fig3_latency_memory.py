@@ -1,0 +1,108 @@
+"""Figure 3 — execution time and memory usage per attention vs input length.
+
+Four implementations are compared at each input length: naive dense attention
+on the GPU, the sliding-chunks implementation on the GPU (both FP32, single
+head, as in the paper's measurement), and SWAT in FP16 and FP32.  The left
+panel is execution time, the right panel memory usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table
+from repro.core.config import SWATConfig
+from repro.core.simulator import SWATSimulator
+from repro.gpu.chunked_runner import SlidingChunksAttentionGPU
+from repro.gpu.dense_runner import DenseAttentionGPU
+
+__all__ = ["INPUT_LENGTHS", "Fig3Result", "run", "main"]
+
+#: Input lengths on the x-axis of Figure 3.
+INPUT_LENGTHS = (512, 1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """The two panels of Figure 3 as tables plus the raw series."""
+
+    latency_table: Table
+    memory_table: Table
+    latency_ms: "dict[str, list[float]]"
+    memory_mb: "dict[str, list[float]]"
+    input_lengths: "tuple[int, ...]"
+
+
+def run(
+    input_lengths: "tuple[int, ...]" = INPUT_LENGTHS,
+    window: int = 256,
+    head_dim: int = 64,
+) -> Fig3Result:
+    """Regenerate Figure 3 for the given input lengths.
+
+    ``window`` is the sliding-window half-width ``w`` (2w = 512 by default,
+    the paper's standard configuration).
+    """
+    dense = DenseAttentionGPU(head_dim=head_dim, precision="fp32")
+    chunks = SlidingChunksAttentionGPU(window=window, head_dim=head_dim, precision="fp32")
+    swat_fp16 = SWATSimulator(SWATConfig.longformer(head_dim=head_dim, window_tokens=2 * window))
+    swat_fp32 = SWATSimulator(
+        SWATConfig.fp32_reference(head_dim=head_dim, window_tokens=2 * window)
+    )
+
+    latency_ms: "dict[str, list[float]]" = {
+        "Dense (GPU|FP32)": [],
+        "Sliding Chunks (GPU|FP32)": [],
+        "SWAT (FPGA|FP16)": [],
+        "SWAT (FPGA|FP32)": [],
+    }
+    memory_mb: "dict[str, list[float]]" = {
+        "Dense (GPU|FP32)": [],
+        "Sliding Chunks (GPU|FP32)": [],
+        "SWAT (FPGA|FP16)": [],
+        "SWAT (FPGA|FP32)": [],
+    }
+    for seq_len in input_lengths:
+        dense_report = dense.run(seq_len)
+        chunks_report = chunks.run(seq_len)
+        swat16_report = swat_fp16.estimate(seq_len)
+        swat32_report = swat_fp32.estimate(seq_len)
+        latency_ms["Dense (GPU|FP32)"].append(dense_report.seconds * 1.0e3)
+        latency_ms["Sliding Chunks (GPU|FP32)"].append(chunks_report.seconds * 1.0e3)
+        latency_ms["SWAT (FPGA|FP16)"].append(swat16_report.seconds * 1.0e3)
+        latency_ms["SWAT (FPGA|FP32)"].append(swat32_report.seconds * 1.0e3)
+        memory_mb["Dense (GPU|FP32)"].append(dense_report.memory_bytes / 1.0e6)
+        memory_mb["Sliding Chunks (GPU|FP32)"].append(chunks_report.memory_bytes / 1.0e6)
+        memory_mb["SWAT (FPGA|FP16)"].append(swat_fp16.memory_footprint_bytes(seq_len) / 1.0e6)
+        memory_mb["SWAT (FPGA|FP32)"].append(swat_fp32.memory_footprint_bytes(seq_len) / 1.0e6)
+
+    latency_table = Table(
+        title="Figure 3 (left): execution time (ms) per attention",
+        columns=["input_length", *latency_ms.keys()],
+    )
+    memory_table = Table(
+        title="Figure 3 (right): memory usage (MB) per attention",
+        columns=["input_length", *memory_mb.keys()],
+    )
+    for index, seq_len in enumerate(input_lengths):
+        latency_table.add_row(seq_len, *[round(latency_ms[key][index], 3) for key in latency_ms])
+        memory_table.add_row(seq_len, *[round(memory_mb[key][index], 2) for key in memory_mb])
+    return Fig3Result(
+        latency_table=latency_table,
+        memory_table=memory_table,
+        latency_ms=latency_ms,
+        memory_mb=memory_mb,
+        input_lengths=tuple(input_lengths),
+    )
+
+
+def main() -> None:
+    """Print both panels of Figure 3."""
+    result = run()
+    print(result.latency_table.render())
+    print()
+    print(result.memory_table.render())
+
+
+if __name__ == "__main__":
+    main()

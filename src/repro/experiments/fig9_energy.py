@@ -1,0 +1,115 @@
+"""Figure 9 — energy efficiency of SWAT against the GPU and Butterfly baselines.
+
+Energy efficiency is defined as the baseline's energy per attention divided by
+SWAT's (larger is better for SWAT).  Six series are reported, matching the
+figure's legend:
+
+* SWAT FP16 vs. BTF-1 and BTF-2 (FP16 Butterfly),
+* SWAT FP16 vs. GPU dense and GPU sliding-chunks,
+* SWAT FP32 vs. GPU dense and GPU sliding-chunks.
+
+Paper anchors: 11.4x / 21.9x over BTF-1 / BTF-2 at 16384 tokens; roughly 20x
+over the GPU at 1k (FP32, under-utilised GPU), a minimum of ~4x around 8k and
+~8.4x at 16k; ~15x for FP16 vs the GPU at 16k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import energy_efficiency
+from repro.analysis.report import Table
+from repro.baselines.butterfly_accel import ButterflyAccelerator, ButterflyModelConfig
+from repro.core.config import SWATConfig
+from repro.core.simulator import SWATSimulator
+from repro.gpu.chunked_runner import SlidingChunksAttentionGPU
+from repro.gpu.dense_runner import DenseAttentionGPU
+
+__all__ = ["INPUT_LENGTHS", "PAPER_ANCHORS", "Fig9Result", "run", "main"]
+
+#: Input lengths on the x-axis of Figure 9.
+INPUT_LENGTHS = (1024, 2048, 4096, 8192, 16384)
+
+#: Energy-efficiency anchors quoted in the paper's text.
+PAPER_ANCHORS = {
+    "SWAT FP16 vs. BTF-1 @16384": 11.4,
+    "SWAT FP16 vs. BTF-2 @16384": 21.9,
+    "SWAT FP32 vs. GPU @16384": 8.4,
+    "SWAT FP16 vs. GPU @16384": 15.0,
+}
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """The Figure 9 series plus the rendered table."""
+
+    table: Table
+    series: "dict[str, list[float]]"
+    input_lengths: "tuple[int, ...]"
+
+
+def run(
+    input_lengths: "tuple[int, ...]" = INPUT_LENGTHS,
+    num_layers: int = 6,
+    window: int = 256,
+    head_dim: int = 64,
+) -> Fig9Result:
+    """Regenerate Figure 9 for the given input lengths."""
+    swat_fp16 = SWATSimulator(SWATConfig.longformer(head_dim=head_dim, window_tokens=2 * window))
+    swat_fp32 = SWATSimulator(
+        SWATConfig.fp32_reference(head_dim=head_dim, window_tokens=2 * window)
+    )
+    butterfly = ButterflyAccelerator(head_dim=head_dim)
+    btf1 = ButterflyModelConfig(name="BTF-1", num_layers=num_layers, num_softmax_layers=1)
+    btf2 = ButterflyModelConfig(name="BTF-2", num_layers=num_layers, num_softmax_layers=2)
+    dense_gpu = DenseAttentionGPU(head_dim=head_dim, precision="fp32")
+    chunks_gpu = SlidingChunksAttentionGPU(window=window, head_dim=head_dim, precision="fp32")
+
+    series: "dict[str, list[float]]" = {
+        "SWAT FP16 vs. BTF-1": [],
+        "SWAT FP16 vs. BTF-2": [],
+        "SWAT FP16 vs. GPU dense": [],
+        "SWAT FP16 vs. GPU sliding-chunks": [],
+        "SWAT FP32 vs. GPU dense": [],
+        "SWAT FP32 vs. GPU sliding-chunks": [],
+    }
+    for seq_len in input_lengths:
+        fp16_energy = swat_fp16.estimate(seq_len).energy_joules
+        fp32_energy = swat_fp32.estimate(seq_len).energy_joules
+        fp16_model_energy = fp16_energy * num_layers
+        dense_energy = dense_gpu.run(seq_len).energy_joules
+        chunks_energy = chunks_gpu.run(seq_len).energy_joules
+        series["SWAT FP16 vs. BTF-1"].append(
+            energy_efficiency(butterfly.run(seq_len, btf1).energy_joules, fp16_model_energy)
+        )
+        series["SWAT FP16 vs. BTF-2"].append(
+            energy_efficiency(butterfly.run(seq_len, btf2).energy_joules, fp16_model_energy)
+        )
+        series["SWAT FP16 vs. GPU dense"].append(energy_efficiency(dense_energy, fp16_energy))
+        series["SWAT FP16 vs. GPU sliding-chunks"].append(
+            energy_efficiency(chunks_energy, fp16_energy)
+        )
+        series["SWAT FP32 vs. GPU dense"].append(energy_efficiency(dense_energy, fp32_energy))
+        series["SWAT FP32 vs. GPU sliding-chunks"].append(
+            energy_efficiency(chunks_energy, fp32_energy)
+        )
+
+    table = Table(
+        title="Figure 9: energy efficiency of SWAT against GPU and FPGA baselines",
+        columns=["input_length", *series.keys()],
+    )
+    for index, seq_len in enumerate(input_lengths):
+        table.add_row(seq_len, *[round(series[key][index], 2) for key in series])
+    return Fig9Result(table=table, series=series, input_lengths=tuple(input_lengths))
+
+
+def main() -> None:
+    """Print the Figure 9 series."""
+    result = run()
+    print(result.table.render())
+    print()
+    print(f"Paper anchors: {PAPER_ANCHORS}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Section 5 headline claims, recomputed from the models.
+
+The abstract and Section 5 quote a handful of single-number claims:
+
+* up to **22x latency** and **5.7x energy-efficiency** improvement over the
+  baseline FPGA accelerator (Butterfly) at 16384 tokens,
+* **15x energy efficiency** compared to the GPU solution,
+* **6x energy efficiency** vs the GPU at comparable execution time below 8K,
+* speedups of **6.7x / 12.2x** over BTF-1 / BTF-2 at the 4096-token
+  Longformer configuration,
+* energy efficiency over the GPU of roughly **20x at 1k**, a minimum around
+  8k, and **8.4x at 16k** (FP32).
+
+This module recomputes each claim from the same models the figures use so the
+test-suite can check the claims' direction and rough magnitude, and
+EXPERIMENTS.md can tabulate paper-vs-measured in one place.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.experiments import fig8_speedup, fig9_energy
+
+__all__ = ["PAPER_CLAIMS", "run", "main"]
+
+#: The paper's headline numbers.
+PAPER_CLAIMS = {
+    "speedup vs BTF-1 @4096": 6.7,
+    "speedup vs BTF-2 @4096": 12.2,
+    "speedup vs Butterfly @16384 (best case)": 22.0,
+    "energy efficiency vs BTF-1 @16384": 11.4,
+    "energy efficiency vs BTF-2 @16384": 21.9,
+    "energy efficiency vs Butterfly @16384 (abstract)": 5.7,
+    "energy efficiency vs GPU @16384 (FP16)": 15.0,
+    "energy efficiency vs GPU @16384 (FP32)": 8.4,
+    "energy efficiency vs GPU @4096 (FP16)": 6.0,
+}
+
+
+def run() -> "tuple[Table, dict[str, float]]":
+    """Recompute every headline claim; returns the table and a name->value dict."""
+    speedups = fig8_speedup.run()
+    energies = fig9_energy.run()
+    lengths = list(speedups.input_lengths)
+    at_4096 = lengths.index(4096)
+    at_16384 = lengths.index(16384)
+    energy_lengths = list(energies.input_lengths)
+    e_4096 = energy_lengths.index(4096)
+    e_16384 = energy_lengths.index(16384)
+
+    measured = {
+        "speedup vs BTF-1 @4096": speedups.speedup_vs_btf1[at_4096],
+        "speedup vs BTF-2 @4096": speedups.speedup_vs_btf2[at_4096],
+        "speedup vs Butterfly @16384 (best case)": speedups.speedup_vs_btf1[at_16384],
+        "energy efficiency vs BTF-1 @16384": energies.series["SWAT FP16 vs. BTF-1"][e_16384],
+        "energy efficiency vs BTF-2 @16384": energies.series["SWAT FP16 vs. BTF-2"][e_16384],
+        "energy efficiency vs Butterfly @16384 (abstract)": energies.series["SWAT FP16 vs. BTF-1"][
+            e_16384
+        ],
+        "energy efficiency vs GPU @16384 (FP16)": energies.series["SWAT FP16 vs. GPU dense"][
+            e_16384
+        ],
+        "energy efficiency vs GPU @16384 (FP32)": energies.series["SWAT FP32 vs. GPU dense"][
+            e_16384
+        ],
+        "energy efficiency vs GPU @4096 (FP16)": energies.series["SWAT FP16 vs. GPU dense"][e_4096],
+    }
+    table = Table(
+        title="Section 5 headline claims: paper vs measured",
+        columns=["claim", "paper", "measured"],
+    )
+    for claim, paper_value in PAPER_CLAIMS.items():
+        table.add_row(claim, paper_value, round(measured[claim], 2))
+    return table, measured
+
+
+def main() -> None:
+    """Print the headline-claims comparison."""
+    table, _ = run()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Run every experiment in sequence and print the regenerated artefacts.
+
+``python -m repro.experiments.runner`` regenerates every table and figure of
+the paper.  The two accuracy experiments involve actually training models and
+take a few minutes; pass ``--skip-training`` to regenerate only the
+performance/resource artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig1_flops,
+    fig3_latency_memory,
+    fig8_speedup,
+    fig9_energy,
+    headline,
+    table1_pipeline,
+    table2_resources,
+    table3_lra_accuracy,
+    table4_vision_accuracy,
+)
+
+__all__ = ["run_all", "main"]
+
+_FAST_EXPERIMENTS = (
+    ("Figure 1", fig1_flops.main),
+    ("Table 1", table1_pipeline.main),
+    ("Table 2", table2_resources.main),
+    ("Figure 3", fig3_latency_memory.main),
+    ("Figure 8", fig8_speedup.main),
+    ("Figure 9", fig9_energy.main),
+    ("Headline claims", headline.main),
+)
+
+_TRAINING_EXPERIMENTS = (
+    ("Table 3", table3_lra_accuracy.main),
+    ("Table 4", table4_vision_accuracy.main),
+)
+
+
+def run_all(include_training: bool = True, stream=None) -> None:
+    """Run every experiment, printing each artefact to ``stream`` (stdout)."""
+    stream = stream if stream is not None else sys.stdout
+    experiments = list(_FAST_EXPERIMENTS)
+    if include_training:
+        experiments.extend(_TRAINING_EXPERIMENTS)
+    for name, entry_point in experiments:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}", file=stream)
+        entry_point()
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--skip-training",
+        action="store_true",
+        help="skip the accuracy experiments (Tables 3 and 4) that train models",
+    )
+    arguments = parser.parse_args(argv)
+    run_all(include_training=not arguments.skip_training)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Table 1 — timing (in cycles) of the SWAT pipeline stages.
+
+The paper reports the Vitis HLS stage latencies for the default FP16
+configuration (H = 64, 2w = 512): LOAD 66, QK 201, SV 197, ZRED1 195,
+ZRED2 66, ROWSUM1 195, ROWSUM2 27, DIV&OUT 179, with the whole pipeline
+timed at 201 cycles per row.  The experiment regenerates those numbers from
+the parametric pipeline model and also reports the FP32 and random-attention
+variants discussed in Sections 4 and 5.4.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.core.config import SWATConfig
+from repro.core.pipeline import STAGE_NAMES, SWATPipelineModel
+
+__all__ = ["PAPER_STAGE_CYCLES", "run", "main"]
+
+#: Stage cycles reported in Table 1 of the paper (FP16, H=64, 2w=512).
+PAPER_STAGE_CYCLES = {
+    "LOAD": 66,
+    "QK": 201,
+    "SV": 197,
+    "ZRED1": 195,
+    "ZRED2": 66,
+    "ROWSUM1": 195,
+    "ROWSUM2": 27,
+    "DIV&OUT": 179,
+}
+
+#: Pipeline initiation intervals quoted in the text (FP16 / FP32).
+PAPER_INITIATION_INTERVAL = {"fp16": 201, "fp32": 264}
+
+
+def run(configs: "dict[str, SWATConfig] | None" = None) -> Table:
+    """Regenerate Table 1 for one or more SWAT configurations.
+
+    By default three design points are reported: the paper's standard FP16
+    window configuration, the same with random attention enabled (BigBird),
+    and the FP32 variant used for the GPU comparison.
+    """
+    if configs is None:
+        configs = {
+            "FP16 window (paper)": SWATConfig.longformer(),
+            "FP16 BigBird": SWATConfig.bigbird(),
+            "FP32 window": SWATConfig.fp32_reference(),
+        }
+    table = Table(
+        title="Table 1: pipeline stage timing in cycles",
+        columns=["configuration", *STAGE_NAMES, "pipeline II"],
+    )
+    for name, config in configs.items():
+        model = SWATPipelineModel(config)
+        cycles = model.timing.stage_cycles
+        table.add_row(name, *[cycles[stage] for stage in STAGE_NAMES], model.initiation_interval)
+    return table
+
+
+def main() -> None:
+    """Print the regenerated Table 1 next to the paper's values."""
+    table = run()
+    print(table.render())
+    print()
+    reference = ", ".join(f"{stage}={cycles}" for stage, cycles in PAPER_STAGE_CYCLES.items())
+    print(f"Paper (FP16 defaults): {reference}; pipeline II = 201 (FP16), 264 (FP32)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Table 2 — FPGA resource utilisation of the SWAT configurations.
+
+The paper reports post-synthesis utilisation on the Alveo U55C for four SWAT
+design points plus the Butterfly accelerator (on the equally-sized VCU128).
+The experiment regenerates the SWAT rows from the resource estimator and
+quotes the Butterfly row from the baseline's published numbers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.core.config import SWATConfig
+from repro.core.resources import BUTTERFLY_REFERENCE_USAGE, estimate_resources
+
+__all__ = ["PAPER_UTILISATION", "standard_configurations", "run", "main"]
+
+#: Utilisation percentages from Table 2 of the paper.
+PAPER_UTILISATION = {
+    "FP16 (512 attn)": {"DSP": 19, "LUT": 38, "FF": 11, "BRAM": 25},
+    "FP16 (BigBird 512 attn)": {"DSP": 19, "LUT": 33, "FF": 11, "BRAM": 25},
+    "FP16 (BigBird 2 x 512 attn)": {"DSP": 38, "LUT": 66, "FF": 22, "BRAM": 50},
+    "FP32 (512 attn)": {"DSP": 49, "LUT": 67, "FF": 23, "BRAM": 25},
+    "Butterfly (FP16, 120-BE)": {"DSP": 32, "LUT": 79, "FF": 63, "BRAM": 49},
+}
+
+
+def standard_configurations() -> "dict[str, SWATConfig]":
+    """The four SWAT design points of Table 2."""
+    return {
+        "FP16 (512 attn)": SWATConfig.longformer(),
+        "FP16 (BigBird 512 attn)": SWATConfig.bigbird(),
+        "FP16 (BigBird 2 x 512 attn)": SWATConfig.bigbird_dual_pipeline(),
+        "FP32 (512 attn)": SWATConfig.fp32_reference(),
+    }
+
+
+def run(configs: "dict[str, SWATConfig] | None" = None) -> Table:
+    """Regenerate Table 2 (utilisation percentages per design)."""
+    configs = configs if configs is not None else standard_configurations()
+    table = Table(
+        title="Table 2: resource usage on U55C/VCU128 (percent)",
+        columns=["design", "DSP", "LUT", "FF", "BRAM", "fits"],
+    )
+    for name, config in configs.items():
+        estimate = estimate_resources(config)
+        usage = estimate.utilisation_percent()
+        table.add_row(
+            name,
+            round(usage["DSP"], 1),
+            round(usage["LUT"], 1),
+            round(usage["FF"], 1),
+            round(usage["BRAM"], 1),
+            estimate.fits,
+        )
+    table.add_row(
+        "Butterfly (FP16, 120-BE)",
+        round(100 * BUTTERFLY_REFERENCE_USAGE["DSP"], 1),
+        round(100 * BUTTERFLY_REFERENCE_USAGE["LUT"], 1),
+        round(100 * BUTTERFLY_REFERENCE_USAGE["FF"], 1),
+        round(100 * BUTTERFLY_REFERENCE_USAGE["BRAM"], 1),
+        True,
+    )
+    return table
+
+
+def main() -> None:
+    """Print the regenerated Table 2 next to the paper's values."""
+    print(run().render())
+    print()
+    print("Paper values:")
+    for design, usage in PAPER_UTILISATION.items():
+        rendered = ", ".join(f"{key} {value}%" for key, value in usage.items())
+        print(f"  {design}: {rendered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Table 4 — window-attention vs FFT-attention vision models at matched size.
+
+The paper compares ViL (Vision Longformer, window attention — a model SWAT
+supports) against Pixelfly (butterfly/FFT attention) on ImageNet-1K and finds
+ViL more accurate at comparable parameter counts.  ImageNet training is far
+outside this environment's budget, so the experiment (a) reproduces the
+paper's reference table verbatim for the record and (b) runs a scaled-down
+substitution: window-attention and FFT-mixing classifiers with matched
+parameter counts trained on the synthetic vision task of
+:mod:`repro.nn.data.make_image_task`, at two model scales.  The reproduced
+quantity is the ordering — window attention above FFT mixing at similar size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table
+from repro.nn.data import make_image_task
+from repro.nn.model import build_classifier
+from repro.nn.trainer import Trainer
+
+__all__ = ["PAPER_TABLE4", "Table4Result", "run", "main"]
+
+#: The paper's Table 4 (ImageNet-1K Top-1 accuracy), quoted for reference.
+PAPER_TABLE4 = (
+    ("ViL-Tiny", 6.7e6, 76.7),
+    ("Pixelfly-M-S", 5.9e6, 72.6),
+    ("ViL-Small", 24.6e6, 82.4),
+    ("Pixelfly-V-S", 16.9e6, 77.5),
+    ("Pixelfly-M-B", 17.4e6, 76.3),
+    ("Pixelfly-V-B", 28.2e6, 78.6),
+    ("ViL-Med", 39.7e6, 83.5),
+)
+
+#: Model scales of the scaled-down substitution: (label, dim, num_layers).
+MODEL_SCALES = (("tiny", 24, 2), ("small", 48, 2))
+
+
+@dataclass
+class Table4Result:
+    """Measured accuracies/parameters plus the rendered tables."""
+
+    measured_table: Table
+    reference_table: Table
+    measured: "dict[str, dict[str, float]]"
+
+
+def run(
+    num_train: int = 400,
+    num_test: int = 120,
+    epochs: int = 10,
+    grid: int = 8,
+    window: int = 10,
+    seed: int = 0,
+) -> Table4Result:
+    """Train window-attention and FFT vision classifiers at two scales."""
+    task = make_image_task(num_train=num_train, num_test=num_test, grid=grid, seed=seed)
+    measured: "dict[str, dict[str, float]]" = {}
+    measured_table = Table(
+        title="Table 4 (substitution): synthetic vision task top-1 accuracy",
+        columns=["model", "params", "top-1"],
+    )
+    for scale_name, dim, num_layers in MODEL_SCALES:
+        for attention, family in (("window", "ViL-like"), ("fft", "Pixelfly-like")):
+            model = build_classifier(
+                attention,
+                task,
+                dim=dim,
+                num_layers=num_layers,
+                num_heads=2,
+                window=window,
+                seed=seed + 1,
+            )
+            trainer = Trainer(model, lr=5.0e-3, batch_size=32, epochs=epochs, seed=seed)
+            result = trainer.fit(task, attention)
+            name = f"{family} ({scale_name})"
+            measured[name] = {
+                "params": float(result.num_parameters),
+                "top1": 100.0 * result.test_accuracy,
+            }
+            measured_table.add_row(name, result.num_parameters, round(100.0 * result.test_accuracy, 1))
+
+    reference_table = Table(
+        title="Table 4 (paper): ImageNet-1K Top-1 of ViL vs Pixelfly",
+        columns=["model", "params", "top-1"],
+    )
+    for name, params, top1 in PAPER_TABLE4:
+        reference_table.add_row(name, f"{params / 1e6:.1f}M", top1)
+    return Table4Result(
+        measured_table=measured_table, reference_table=reference_table, measured=measured
+    )
+
+
+def main() -> None:
+    """Run the Table 4 substitution and print both tables."""
+    result = run()
+    print(result.measured_table.render())
+    print()
+    print(result.reference_table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""FPGA device substrate: device database, BRAM, HLS latency primitives, HBM.
+
+The SWAT accelerator model (:mod:`repro.core`) is built on top of this
+package.  Nothing here is specific to attention: it models the resources and
+timing behaviour of an AMD/Xilinx UltraScale+ HBM FPGA the way the Vitis HLS
+report and the device datasheet describe them.
+"""
+
+from repro.fpga.device import ALVEO_U55C, VCU128, FPGADevice, device_from_name
+from repro.fpga.bram import BRAM_36K_BITS, BramRequirement, bram_blocks_for_buffer
+from repro.fpga.hls import (
+    OperatorLatency,
+    PipelineStageTiming,
+    operator_latency,
+    pipelined_loop_cycles,
+)
+from repro.fpga.memory import HBMModel, MemoryTrafficSummary
+
+__all__ = [
+    "FPGADevice",
+    "ALVEO_U55C",
+    "VCU128",
+    "device_from_name",
+    "BRAM_36K_BITS",
+    "BramRequirement",
+    "bram_blocks_for_buffer",
+    "OperatorLatency",
+    "PipelineStageTiming",
+    "operator_latency",
+    "pipelined_loop_cycles",
+    "HBMModel",
+    "MemoryTrafficSummary",
+]

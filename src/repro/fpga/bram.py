@@ -1,0 +1,80 @@
+"""Block-RAM sizing helpers.
+
+SWAT stores one K row and one V row per attention core in BRAM.  For the
+default configuration (H = 64, FP16) one 36 Kb BRAM block comfortably holds
+both rows, which is how the paper's Table 2 arrives at ~25 % BRAM usage for
+512 attention cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.numerics.floating import Precision
+
+__all__ = ["BRAM_36K_BITS", "BRAM_PORT_WIDTH_BITS", "BramRequirement", "bram_blocks_for_buffer"]
+
+#: Capacity of one Xilinx BRAM block in bits (36 Kb true dual-port block).
+BRAM_36K_BITS = 36 * 1024
+
+#: Maximum data width of one BRAM port in bits (36Kb block in 512 x 72 mode).
+BRAM_PORT_WIDTH_BITS = 72
+
+
+@dataclass(frozen=True)
+class BramRequirement:
+    """BRAM blocks needed to implement an on-chip buffer.
+
+    Attributes
+    ----------
+    depth:
+        Number of addressable entries in the buffer.
+    width_bits:
+        Width of each entry in bits.
+    blocks:
+        Number of 36 Kb BRAM blocks required.
+    """
+
+    depth: int
+    width_bits: int
+    blocks: int
+
+
+def bram_blocks_for_buffer(depth: int, element_bits: int, elements_per_word: int = 1) -> BramRequirement:
+    """Return the BRAM blocks needed for a ``depth x width`` buffer.
+
+    Parameters
+    ----------
+    depth:
+        Number of words stored.
+    element_bits:
+        Bits per element.
+    elements_per_word:
+        Elements packed side by side into one addressed word (word width =
+        ``element_bits * elements_per_word``).
+
+    Notes
+    -----
+    The block count is the maximum of the capacity bound (total bits / 36 Kb)
+    and the width bound (words wider than one port need parallel blocks).
+    """
+    if depth <= 0 or element_bits <= 0 or elements_per_word <= 0:
+        raise ValueError("depth, element_bits and elements_per_word must be positive")
+    width_bits = element_bits * elements_per_word
+    total_bits = depth * width_bits
+    capacity_blocks = ceil(total_bits / BRAM_36K_BITS)
+    width_blocks = ceil(width_bits / BRAM_PORT_WIDTH_BITS)
+    blocks = max(capacity_blocks, width_blocks, 1)
+    return BramRequirement(depth=depth, width_bits=width_bits, blocks=blocks)
+
+
+def kv_buffer_blocks(head_dim: int, precision: Precision) -> int:
+    """BRAM blocks for one attention core's combined K-row + V-row buffer.
+
+    The K row and the V row of one core (each ``head_dim`` elements) are
+    packed into a single dual-port block when they fit; otherwise the count
+    grows with the required capacity.
+    """
+    requirement = bram_blocks_for_buffer(depth=2 * head_dim, element_bits=precision.bits)
+    return requirement.blocks

@@ -1,0 +1,135 @@
+"""FPGA device resource database.
+
+The paper synthesises SWAT for the Alveo U55C and compares against the
+Butterfly accelerator synthesised for the VCU128; footnote 3 notes the two
+parts expose the same number of logic resources, which is why Table 2 can
+report utilisation percentages for both on one scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGADevice", "ALVEO_U55C", "VCU128", "device_from_name"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource and memory-system description of an FPGA card.
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the card.
+    dsp_slices:
+        Number of DSP48/DSP58 slices.
+    luts:
+        Number of 6-input LUTs.
+    flip_flops:
+        Number of flip-flops (registers).
+    bram_blocks:
+        Number of 36 Kb block RAMs.
+    uram_blocks:
+        Number of 288 Kb UltraRAMs.
+    hbm_bandwidth_gbps:
+        Peak off-chip (HBM2) bandwidth in GB/s.
+    hbm_capacity_gb:
+        Off-chip memory capacity in GB.
+    default_clock_mhz:
+        Clock frequency assumed for HLS kernels on this card.
+    static_power_w:
+        Device static power draw in watts.
+    """
+
+    name: str
+    dsp_slices: int
+    luts: int
+    flip_flops: int
+    bram_blocks: int
+    uram_blocks: int
+    hbm_bandwidth_gbps: float
+    hbm_capacity_gb: float
+    default_clock_mhz: float
+    static_power_w: float
+
+    def __post_init__(self) -> None:
+        numeric_fields = {
+            "dsp_slices": self.dsp_slices,
+            "luts": self.luts,
+            "flip_flops": self.flip_flops,
+            "bram_blocks": self.bram_blocks,
+            "uram_blocks": self.uram_blocks,
+            "hbm_bandwidth_gbps": self.hbm_bandwidth_gbps,
+            "hbm_capacity_gb": self.hbm_capacity_gb,
+            "default_clock_mhz": self.default_clock_mhz,
+            "static_power_w": self.static_power_w,
+        }
+        for field_name, value in numeric_fields.items():
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+
+    @property
+    def clock_hz(self) -> float:
+        """Default clock frequency in hertz."""
+        return self.default_clock_mhz * 1.0e6
+
+    def utilisation(self, dsp: int = 0, lut: int = 0, ff: int = 0, bram: int = 0) -> "dict[str, float]":
+        """Return the fractional utilisation of each resource class.
+
+        Values above 1.0 indicate the design does not fit.
+        """
+        return {
+            "DSP": dsp / self.dsp_slices,
+            "LUT": lut / self.luts,
+            "FF": ff / self.flip_flops,
+            "BRAM": bram / self.bram_blocks,
+        }
+
+    def fits(self, dsp: int = 0, lut: int = 0, ff: int = 0, bram: int = 0) -> bool:
+        """True when the requested resources fit on the device."""
+        usage = self.utilisation(dsp=dsp, lut=lut, ff=ff, bram=bram)
+        return all(fraction <= 1.0 for fraction in usage.values())
+
+
+#: Alveo U55C: Virtex UltraScale+ VU47P-based HBM card used for SWAT.
+ALVEO_U55C = FPGADevice(
+    name="Alveo U55C",
+    dsp_slices=9024,
+    luts=1_303_680,
+    flip_flops=2_607_360,
+    bram_blocks=2016,
+    uram_blocks=960,
+    hbm_bandwidth_gbps=460.0,
+    hbm_capacity_gb=16.0,
+    default_clock_mhz=300.0,
+    static_power_w=10.0,
+)
+
+#: VCU128: VU37P-based HBM card used by the Butterfly accelerator baseline.
+#: Footnote 3 of the paper: same logic-resource counts as the U55C.
+VCU128 = FPGADevice(
+    name="VCU128",
+    dsp_slices=9024,
+    luts=1_303_680,
+    flip_flops=2_607_360,
+    bram_blocks=2016,
+    uram_blocks=960,
+    hbm_bandwidth_gbps=460.0,
+    hbm_capacity_gb=8.0,
+    default_clock_mhz=300.0,
+    static_power_w=10.0,
+)
+
+_DEVICES = {
+    "u55c": ALVEO_U55C,
+    "alveo u55c": ALVEO_U55C,
+    "vcu128": VCU128,
+}
+
+
+def device_from_name(name: str) -> FPGADevice:
+    """Look up a device by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _DEVICES:
+        raise ValueError(f"unknown FPGA device {name!r}; known: {sorted(_DEVICES)}")
+    return _DEVICES[key]

@@ -1,0 +1,103 @@
+"""HLS-style operator latency and pipelined-loop timing primitives.
+
+The SWAT pipeline-stage model (:mod:`repro.core.pipeline`) is expressed in
+terms of the same quantities a Vitis HLS report exposes: per-operator
+initiation intervals (II), operator pipeline depths, and the cycle count of a
+pipelined loop ``trip_count * II + depth``.
+
+The operator table below reflects the constraints discussed in Section 4 of
+the paper: the FP16 multiply-accumulate cannot be pipelined below II = 3
+without a large resource blow-up, the FP32 MAC is more constrained still
+(II = 4, which is what pushes the FP32 pipeline to 264 cycles), and the
+divider is given a relaxed II = 2 because better throughput is unnecessary in
+the final stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.numerics.floating import FP16, FP32, Precision
+
+__all__ = [
+    "OperatorLatency",
+    "PipelineStageTiming",
+    "operator_latency",
+    "pipelined_loop_cycles",
+    "OPERATOR_TABLE",
+]
+
+
+@dataclass(frozen=True)
+class OperatorLatency:
+    """Initiation interval and pipeline depth of one arithmetic operator."""
+
+    name: str
+    initiation_interval: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.initiation_interval <= 0:
+            raise ValueError("initiation_interval must be positive")
+        if self.depth < 0:
+            raise ValueError("depth must be non-negative")
+
+
+#: Operator characteristics per precision, in cycles, as used by the SWAT
+#: HLS design.  Keys are ``(operator, precision name)``.
+OPERATOR_TABLE: "dict[tuple[str, str], OperatorLatency]" = {
+    ("mac", "fp16"): OperatorLatency("mac", initiation_interval=3, depth=9),
+    ("mac", "fp32"): OperatorLatency("mac", initiation_interval=4, depth=8),
+    ("mul", "fp16"): OperatorLatency("mul", initiation_interval=1, depth=4),
+    ("mul", "fp32"): OperatorLatency("mul", initiation_interval=1, depth=6),
+    ("add", "fp16"): OperatorLatency("add", initiation_interval=1, depth=5),
+    ("add", "fp32"): OperatorLatency("add", initiation_interval=1, depth=7),
+    ("exp", "fp16"): OperatorLatency("exp", initiation_interval=1, depth=5),
+    ("exp", "fp32"): OperatorLatency("exp", initiation_interval=1, depth=8),
+    ("div", "fp16"): OperatorLatency("div", initiation_interval=2, depth=12),
+    ("div", "fp32"): OperatorLatency("div", initiation_interval=2, depth=16),
+    ("load", "fp16"): OperatorLatency("load", initiation_interval=1, depth=2),
+    ("load", "fp32"): OperatorLatency("load", initiation_interval=1, depth=2),
+}
+
+
+def operator_latency(operator: str, precision: Precision) -> OperatorLatency:
+    """Look up the II/depth of ``operator`` at ``precision``.
+
+    Only FP16 and FP32 are synthesisable datapaths; other precisions raise.
+    """
+    if precision.name not in (FP16.name, FP32.name):
+        raise ValueError(f"no HLS operator data for precision {precision.name!r}")
+    key = (operator.lower(), precision.name)
+    if key not in OPERATOR_TABLE:
+        raise ValueError(f"unknown operator {operator!r} for precision {precision.name!r}")
+    return OPERATOR_TABLE[key]
+
+
+def pipelined_loop_cycles(trip_count: int, initiation_interval: int, depth: int) -> int:
+    """Cycle count of a pipelined loop: ``trip_count * II + depth``.
+
+    This is the standard HLS formula: a new iteration starts every II cycles
+    and the last one takes ``depth`` further cycles to drain.
+    """
+    if trip_count < 0:
+        raise ValueError("trip_count must be non-negative")
+    if initiation_interval <= 0:
+        raise ValueError("initiation_interval must be positive")
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    if trip_count == 0:
+        return 0
+    return trip_count * initiation_interval + depth
+
+
+@dataclass(frozen=True)
+class PipelineStageTiming:
+    """Latency of one named pipeline stage, in cycles."""
+
+    name: str
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")

@@ -1,0 +1,33 @@
+"""Analytical model of a server-class GPU running attention workloads.
+
+The paper benchmarks SWAT against an AMD MI210 running (a) naive dense
+attention and (b) the Longformer sliding-chunks implementation, built on
+rocBLAS and MIOpen.  Neither the GPU nor those libraries are available here,
+so this package substitutes an analytical roofline-style model: kernel times
+are the sum of a compute term (peak FLOP/s derated by an efficiency factor for
+the skinny matrix shapes attention produces), a memory term (HBM bandwidth
+derated likewise) and fixed per-kernel overheads (launch plus the occupancy
+floor of small kernels).  The constants are calibrated so the model reproduces
+the execution-time and memory curves of Figure 3 and the energy-efficiency
+trends of Figure 9.
+"""
+
+from repro.gpu.device import MI210, GPUDevice
+from repro.gpu.kernels import GPUKernelModel, KernelCost
+from repro.gpu.dense_runner import DenseAttentionGPU
+from repro.gpu.chunked_runner import SlidingChunksAttentionGPU
+from repro.gpu.memory import (
+    dense_attention_memory_bytes,
+    sliding_chunks_memory_bytes,
+)
+
+__all__ = [
+    "GPUDevice",
+    "MI210",
+    "GPUKernelModel",
+    "KernelCost",
+    "DenseAttentionGPU",
+    "SlidingChunksAttentionGPU",
+    "dense_attention_memory_bytes",
+    "sliding_chunks_memory_bytes",
+]

@@ -1,0 +1,88 @@
+"""Analytical model of naive dense attention on the GPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import MI210, GPUDevice
+from repro.gpu.kernels import GPUKernelModel, KernelCost
+from repro.gpu.memory import dense_attention_memory_bytes
+
+__all__ = ["GPUAttentionReport", "DenseAttentionGPU"]
+
+
+@dataclass(frozen=True)
+class GPUAttentionReport:
+    """Time, memory and energy of one attention computation on the GPU.
+
+    Attributes
+    ----------
+    seq_len, head_dim:
+        Workload dimensions (single head, as in Figure 3).
+    seconds:
+        Modelled execution time.
+    memory_bytes:
+        Peak intermediate memory.
+    energy_joules:
+        ``board_power * seconds``.
+    kernels:
+        Per-kernel cost breakdown.
+    """
+
+    seq_len: int
+    head_dim: int
+    seconds: float
+    memory_bytes: int
+    energy_joules: float
+    kernels: "tuple[KernelCost, ...]"
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of kernel launches in one attention."""
+        return len(self.kernels)
+
+
+class DenseAttentionGPU:
+    """Naive dense softmax attention: full QK^T, softmax, S'V on the GPU."""
+
+    def __init__(
+        self,
+        device: GPUDevice = MI210,
+        precision: str = "fp32",
+        head_dim: int = 64,
+        kernel_model: "GPUKernelModel | None" = None,
+    ):
+        if head_dim <= 0:
+            raise ValueError("head_dim must be positive")
+        self.device = device
+        self.head_dim = head_dim
+        self.kernels = kernel_model if kernel_model is not None else GPUKernelModel(
+            device=device, precision=precision
+        )
+
+    def run(self, seq_len: int) -> GPUAttentionReport:
+        """Model one dense attention over ``seq_len`` tokens (single head)."""
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        h = self.head_dim
+        costs = [
+            self.kernels.gemm(seq_len, seq_len, h, name="qk_gemm"),
+            self.kernels.elementwise(seq_len * seq_len, name="scale"),
+            self.kernels.softmax(seq_len, seq_len, name="softmax"),
+            self.kernels.gemm(seq_len, h, seq_len, name="sv_gemm"),
+            self.kernels.elementwise(seq_len * h, name="output_copy"),
+        ]
+        seconds = self.kernels.total_seconds(costs)
+        memory = dense_attention_memory_bytes(seq_len, h, self.kernels.element_bytes)
+        return GPUAttentionReport(
+            seq_len=seq_len,
+            head_dim=h,
+            seconds=seconds,
+            memory_bytes=memory,
+            energy_joules=self.device.board_power_w * seconds,
+            kernels=tuple(costs),
+        )
+
+    def latency_seconds(self, seq_len: int) -> float:
+        """Convenience accessor for the modelled execution time."""
+        return self.run(seq_len).seconds

@@ -1,0 +1,82 @@
+"""GPU device descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUDevice", "MI210"]
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """Peak-rate description of a GPU accelerator card.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    fp32_tflops:
+        Peak single-precision throughput in TFLOP/s.
+    fp16_tflops:
+        Peak half-precision (matrix-core) throughput in TFLOP/s.
+    hbm_bandwidth_gbps:
+        Peak memory bandwidth in GB/s.
+    hbm_capacity_gb:
+        Device memory capacity in GB.
+    board_power_w:
+        Board power used for the energy comparison (the paper uses the
+        MI210's 300 W TDP).
+    kernel_launch_overhead_s:
+        Host-side launch plus dispatch latency per kernel.
+    small_kernel_floor_s:
+        Minimum effective execution time of one kernel in the paper's
+        single-batch, single-head setting — the occupancy/underutilisation
+        floor that dominates short sequence lengths in Figure 3.
+    """
+
+    name: str
+    fp32_tflops: float
+    fp16_tflops: float
+    hbm_bandwidth_gbps: float
+    hbm_capacity_gb: float
+    board_power_w: float
+    kernel_launch_overhead_s: float = 30.0e-6
+    small_kernel_floor_s: float = 250.0e-6
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "fp32_tflops",
+            "fp16_tflops",
+            "hbm_bandwidth_gbps",
+            "hbm_capacity_gb",
+            "board_power_w",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.kernel_launch_overhead_s < 0 or self.small_kernel_floor_s < 0:
+            raise ValueError("overheads must be non-negative")
+
+    def peak_flops(self, precision_name: str) -> float:
+        """Peak FLOP/s for the given precision name ("fp16" or "fp32")."""
+        key = precision_name.lower()
+        if key == "fp32":
+            return self.fp32_tflops * 1.0e12
+        if key == "fp16":
+            return self.fp16_tflops * 1.0e12
+        raise ValueError(f"unsupported GPU precision {precision_name!r}")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Peak HBM bandwidth in bytes/s."""
+        return self.hbm_bandwidth_gbps * 1.0e9
+
+
+#: AMD Instinct MI210: the GPU used throughout the paper's evaluation.
+MI210 = GPUDevice(
+    name="AMD Instinct MI210",
+    fp32_tflops=22.6,
+    fp16_tflops=181.0,
+    hbm_bandwidth_gbps=1638.0,
+    hbm_capacity_gb=64.0,
+    board_power_w=300.0,
+)

@@ -1,0 +1,129 @@
+"""Kernel-level cost model for GPU attention implementations.
+
+Every GPU kernel is priced as::
+
+    time = max(compute_time, floor) + launch_overhead
+    compute_time = flops / (peak_flops * compute_efficiency)
+                 + bytes  / (bandwidth * memory_efficiency)
+
+The efficiency factors reflect that attention produces skinny GEMMs
+(``n x 64`` operands) and memory-bound softmax/masking kernels, for which
+rocBLAS/MIOpen reach a modest fraction of peak; the floor reflects the
+occupancy ramp of small kernels in the paper's single-batch, single-head
+measurement.  The default factors are calibrated against Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import MI210, GPUDevice
+
+__all__ = ["KernelCost", "GPUKernelModel"]
+
+#: Fraction of peak FLOP/s a skinny attention GEMM achieves (calibrated).
+DEFAULT_GEMM_EFFICIENCY = 0.30
+#: Fraction of peak HBM bandwidth achieved by softmax/masking passes.
+DEFAULT_MEMORY_EFFICIENCY = 0.60
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Cost of one GPU kernel invocation.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier for reporting.
+    flops:
+        Floating-point operations performed.
+    bytes_moved:
+        Off-chip bytes read plus written.
+    seconds:
+        Modelled execution time including launch overhead.
+    """
+
+    name: str
+    flops: float
+    bytes_moved: float
+    seconds: float
+
+
+class GPUKernelModel:
+    """Prices individual kernels on a :class:`~repro.gpu.device.GPUDevice`."""
+
+    def __init__(
+        self,
+        device: GPUDevice = MI210,
+        precision: str = "fp32",
+        gemm_efficiency: float = DEFAULT_GEMM_EFFICIENCY,
+        memory_efficiency: float = DEFAULT_MEMORY_EFFICIENCY,
+    ):
+        if not 0 < gemm_efficiency <= 1:
+            raise ValueError("gemm_efficiency must be in (0, 1]")
+        if not 0 < memory_efficiency <= 1:
+            raise ValueError("memory_efficiency must be in (0, 1]")
+        self.device = device
+        self.precision = precision
+        self.gemm_efficiency = gemm_efficiency
+        self.memory_efficiency = memory_efficiency
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes per element at the model precision."""
+        return 2 if self.precision.lower() == "fp16" else 4
+
+    def kernel(
+        self,
+        name: str,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        apply_floor: bool = True,
+    ) -> KernelCost:
+        """Price one kernel from its FLOPs and memory traffic."""
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be non-negative")
+        device = self.device
+        compute_time = flops / (device.peak_flops(self.precision) * self.gemm_efficiency)
+        memory_time = bytes_moved / (device.bandwidth_bytes_per_s * self.memory_efficiency)
+        body = compute_time + memory_time
+        if apply_floor:
+            body = max(body, device.small_kernel_floor_s)
+        seconds = body + device.kernel_launch_overhead_s
+        return KernelCost(name=name, flops=flops, bytes_moved=bytes_moved, seconds=seconds)
+
+    def gemm(self, m: int, n: int, k: int, name: str = "gemm", apply_floor: bool = True) -> KernelCost:
+        """Price a dense ``m x k @ k x n`` matrix multiplication.
+
+        ``apply_floor=False`` models one member of a stream of small batched
+        kernels, which pays the launch overhead but not the occupancy floor.
+        """
+        if min(m, n, k) <= 0:
+            raise ValueError("gemm dimensions must be positive")
+        flops = 2.0 * m * n * k
+        bytes_moved = (m * k + k * n + m * n) * self.element_bytes
+        return self.kernel(name, flops=flops, bytes_moved=bytes_moved, apply_floor=apply_floor)
+
+    def softmax(self, rows: int, cols: int, name: str = "softmax", apply_floor: bool = True) -> KernelCost:
+        """Price a row-wise softmax over a ``rows x cols`` matrix (memory bound)."""
+        if min(rows, cols) <= 0:
+            raise ValueError("softmax dimensions must be positive")
+        elements = rows * cols
+        flops = 5.0 * elements  # exp, subtract, sum, divide amortised
+        bytes_moved = 2.0 * elements * self.element_bytes  # read + write
+        return self.kernel(name, flops=flops, bytes_moved=bytes_moved, apply_floor=apply_floor)
+
+    def elementwise(
+        self, elements: int, passes: int = 1, name: str = "elementwise", apply_floor: bool = True
+    ) -> KernelCost:
+        """Price a masking / scaling / copy pass over ``elements`` values."""
+        if elements <= 0 or passes <= 0:
+            raise ValueError("elements and passes must be positive")
+        flops = float(elements * passes)
+        bytes_moved = 2.0 * elements * passes * self.element_bytes
+        return self.kernel(name, flops=flops, bytes_moved=bytes_moved, apply_floor=apply_floor)
+
+    @staticmethod
+    def total_seconds(costs: "list[KernelCost]") -> float:
+        """Sum of kernel times (kernels of one attention run back to back)."""
+        return float(sum(cost.seconds for cost in costs))

@@ -1,0 +1,52 @@
+"""Memory-footprint models of the GPU attention implementations (Figure 3, right)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "dense_attention_memory_bytes",
+    "sliding_chunks_memory_bytes",
+    "qkv_memory_bytes",
+]
+
+
+def qkv_memory_bytes(seq_len: int, head_dim: int, element_bytes: int = 4) -> int:
+    """Bytes of the Q, K, V inputs and the Z output for one head."""
+    _validate(seq_len, head_dim, element_bytes)
+    return 4 * seq_len * head_dim * element_bytes
+
+
+def dense_attention_memory_bytes(seq_len: int, head_dim: int, element_bytes: int = 4) -> int:
+    """Peak memory of naive dense attention for one head.
+
+    The dominant term is the full ``n x n`` score matrix (the softmax is
+    applied in place, so one copy suffices), which is what makes the dense
+    curve of Figure 3 grow quadratically to ~1 GB at 16 K tokens.
+    """
+    _validate(seq_len, head_dim, element_bytes)
+    scores = seq_len * seq_len * element_bytes
+    return scores + qkv_memory_bytes(seq_len, head_dim, element_bytes)
+
+
+def sliding_chunks_memory_bytes(
+    seq_len: int, window: int, head_dim: int, element_bytes: int = 4
+) -> int:
+    """Peak memory of the sliding-chunks implementation for one head.
+
+    The chunked implementation materialises the banded scores as a
+    ``n x (2w + 1)`` tensor plus an equally-sized probability tensor and one
+    padded working copy — linear in the sequence length, which is the memory
+    advantage Figure 3 demonstrates.
+    """
+    _validate(seq_len, head_dim, element_bytes)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    band_elements = seq_len * (2 * window + 1)
+    working_tensors = 3  # scores, probabilities, padded copy
+    return working_tensors * band_elements * element_bytes + qkv_memory_bytes(
+        seq_len, head_dim, element_bytes
+    )
+
+
+def _validate(seq_len: int, head_dim: int, element_bytes: int) -> None:
+    if seq_len <= 0 or head_dim <= 0 or element_bytes <= 0:
+        raise ValueError("seq_len, head_dim and element_bytes must be positive")

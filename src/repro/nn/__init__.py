@@ -1,0 +1,74 @@
+"""Minimal numpy training substrate for the accuracy experiments.
+
+Provides a reverse-mode autodiff tensor, standard Transformer layers,
+pluggable attention/mixing modules (dense, window, BigBird, FFT, hybrid), an
+Adam optimiser, synthetic LRA-like tasks and a small trainer — everything
+needed to regenerate the accuracy comparisons of Tables 3 and 4 without any
+external deep-learning framework.
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+)
+from repro.nn.functional import (
+    accuracy,
+    gelu,
+    log_softmax,
+    masked_softmax,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.nn.attention_layers import FourierMixingAttention, SelfAttention, attention_mask_for
+from repro.nn.model import EncoderLayer, TransformerClassifier, build_classifier
+from repro.nn.optim import SGD, Adam
+from repro.nn.data import (
+    SyntheticTask,
+    lra_suite,
+    make_image_task,
+    make_listops_task,
+    make_pathfinder_task,
+    make_text_task,
+)
+from repro.nn.trainer import Trainer, TrainingResult
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "FeedForward",
+    "Sequential",
+    "softmax",
+    "masked_softmax",
+    "log_softmax",
+    "gelu",
+    "softmax_cross_entropy",
+    "accuracy",
+    "SelfAttention",
+    "FourierMixingAttention",
+    "attention_mask_for",
+    "EncoderLayer",
+    "TransformerClassifier",
+    "build_classifier",
+    "SGD",
+    "Adam",
+    "SyntheticTask",
+    "make_image_task",
+    "make_pathfinder_task",
+    "make_text_task",
+    "make_listops_task",
+    "lra_suite",
+    "Trainer",
+    "TrainingResult",
+]

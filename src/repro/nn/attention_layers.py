@@ -1,0 +1,142 @@
+"""Attention (and attention-replacement) modules for the training substrate.
+
+These modules are the *trainable* counterparts of the algorithms in
+:mod:`repro.attention`, used to reproduce the accuracy comparisons of
+Tables 3 and 4:
+
+* :class:`SelfAttention` — multi-head softmax attention under an arbitrary
+  static mask: dense, sliding-window (Longformer), or BigBird.
+* :class:`FourierMixingAttention` — a parameter-free FFT-style token-mixing
+  layer standing in for the Butterfly accelerator's full-FFT attention
+  (FNet-like; implemented with fixed real mixing matrices so it stays inside
+  the autograd framework).
+
+The hybrid BTF-1/BTF-2 models are assembled in :mod:`repro.nn.model` by
+giving the last one or two layers softmax attention and the rest Fourier
+mixing, exactly as described in Section 5.2 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.masks import AttentionPattern, dense_mask
+from repro.nn.functional import masked_softmax
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["SelfAttention", "FourierMixingAttention", "attention_mask_for"]
+
+
+def attention_mask_for(
+    kind: str,
+    seq_len: int,
+    window: int = 8,
+    num_global: int = 2,
+    num_random: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Build the static attention mask for a named pattern.
+
+    ``kind`` is one of ``"dense"``, ``"window"`` (Longformer: window + leading
+    global tokens) or ``"bigbird"`` (window + globals + static random).
+    """
+    kind = kind.lower()
+    if kind == "dense":
+        return dense_mask(seq_len)
+    if kind == "window":
+        pattern = AttentionPattern.longformer(seq_len, window=window, num_global=num_global)
+        return pattern.build_mask()
+    if kind == "bigbird":
+        pattern = AttentionPattern.bigbird(
+            seq_len, window=window, num_global=num_global, num_random=num_random, seed=seed
+        )
+        return pattern.build_mask()
+    raise ValueError(f"unknown attention mask kind {kind!r}")
+
+
+class SelfAttention(Module):
+    """Multi-head softmax self-attention under a static mask."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mask: "np.ndarray | None" = None,
+        dropout_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if dim <= 0 or num_heads <= 0:
+            raise ValueError("dim and num_heads must be positive")
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.mask = None if mask is None else np.asarray(mask, dtype=bool)
+        self.qkv_proj = Linear(dim, 3 * dim, seed=seed)
+        self.out_proj = Linear(dim, dim, seed=seed + 1)
+        self.dropout = Dropout(dropout_rate, seed=seed + 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq_len, dim = x.shape
+        if dim != self.dim:
+            raise ValueError(f"input dim {dim} does not match layer dim {self.dim}")
+        qkv = self.qkv_proj(x)  # (batch, seq, 3*dim)
+        qkv = qkv.reshape(batch, seq_len, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, batch, heads, seq, head_dim)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (batch, heads, seq, seq)
+        if self.mask is not None:
+            if self.mask.shape != (seq_len, seq_len):
+                raise ValueError(
+                    f"mask shape {self.mask.shape} does not match sequence length {seq_len}"
+                )
+            mask = np.broadcast_to(self.mask, scores.shape)
+        else:
+            mask = np.ones(scores.shape, dtype=bool)
+        probs = masked_softmax(scores, mask, axis=-1)
+        context = probs @ v  # (batch, heads, seq, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, dim)
+        return self.dropout(self.out_proj(context))
+
+
+class FourierMixingAttention(Module):
+    """FNet-style Fourier token mixing, the full-FFT Butterfly attention stand-in.
+
+    The layer applies a fixed real token-mixing matrix along the sequence axis
+    and a fixed real feature-mixing matrix along the hidden axis (the cosine
+    parts of the DFT matrices, so the transform is ``O(n log n)`` realisable
+    in hardware while remaining a constant linear map for autograd).
+    """
+
+    def __init__(self, dim: int, seq_len: int, mix_features: bool = True):
+        super().__init__()
+        if dim <= 0 or seq_len <= 0:
+            raise ValueError("dim and seq_len must be positive")
+        self.dim = dim
+        self.seq_len = seq_len
+        self.mix_features = mix_features
+        self._seq_mixer = Tensor(self._real_dft_matrix(seq_len))
+        self._feature_mixer = Tensor(self._real_dft_matrix(dim)) if mix_features else None
+
+    @staticmethod
+    def _real_dft_matrix(n: int) -> np.ndarray:
+        """Real (cosine) part of the DFT matrix, normalised to unit spectral norm."""
+        indices = np.arange(n)
+        matrix = np.cos(2.0 * np.pi * np.outer(indices, indices) / n)
+        return matrix / np.sqrt(n)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq_len, dim = x.shape
+        if seq_len != self.seq_len or dim != self.dim:
+            raise ValueError(
+                f"input shape {(seq_len, dim)} does not match layer shape {(self.seq_len, self.dim)}"
+            )
+        mixed = self._seq_mixer @ x  # broadcast over the batch dimension
+        if self._feature_mixer is not None:
+            mixed = mixed @ self._feature_mixer
+        return mixed

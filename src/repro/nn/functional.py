@@ -1,0 +1,74 @@
+"""Differentiable functional building blocks for the training substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["softmax", "masked_softmax", "gelu", "softmax_cross_entropy", "dropout", "accuracy"]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis`` (differentiable)."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax restricted to positions where the boolean ``mask`` is True.
+
+    The mask is a constant (it encodes the static attention pattern), so it
+    participates in the forward value but never receives gradients.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != x.shape:
+        mask = np.broadcast_to(mask, x.shape)
+    fill = Tensor(np.where(mask, 0.0, -1.0e9))
+    return softmax(x + fill, axis=axis)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation)."""
+    cubic = x * x * x
+    inner = (x + cubic * 0.044715) * np.sqrt(2.0 / np.pi)
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: "np.random.Generator | None" = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    if not training or rate == 0.0:
+        return x
+    rng = rng if rng is not None else np.random.default_rng()
+    keep = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(keep)
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` of shape ``(batch, classes)`` and int labels."""
+    labels = np.asarray(labels, dtype=int)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must have shape (batch,)")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return -picked.mean()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (differentiable, numerically stable)."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def accuracy(logits: "Tensor | np.ndarray", labels: np.ndarray) -> float:
+    """Classification accuracy of ``logits`` against integer ``labels``."""
+    values = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels = np.asarray(labels, dtype=int)
+    predictions = values.argmax(axis=-1)
+    return float((predictions == labels).mean())

@@ -1,0 +1,174 @@
+"""Neural-network modules: parameters, linear/embedding/normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import dropout, gelu
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "Embedding", "LayerNorm", "Dropout", "FeedForward", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class providing parameter discovery and train/eval switching."""
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self) -> "list[Parameter]":
+        """Return every :class:`Parameter` reachable from this module."""
+        found: "list[Parameter]" = []
+        seen: "set[int]" = set()
+        self._collect(found, seen)
+        return found
+
+    def _collect(self, found: "list[Parameter]", seen: "set[int]") -> None:
+        for value in self.__dict__.values():
+            self._collect_value(value, found, seen)
+
+    def _collect_value(self, value, found, seen) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            value._collect(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_value(item, found, seen)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def train(self) -> "Module":
+        """Switch this module (and children) to training mode."""
+        self._set_training(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) to evaluation mode."""
+        self._set_training(False)
+        return self
+
+    def _set_training(self, flag: bool) -> None:
+        self.training = flag
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_training(flag)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_training(flag)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Xavier-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: int = 0):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = np.random.default_rng(seed)
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-bound, bound, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, vocab_size: int, dim: int, seed: int = 0):
+        super().__init__()
+        if vocab_size <= 0 or dim <= 0:
+            raise ValueError("vocab_size and dim must be positive")
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(rng.standard_normal((vocab_size, dim)) * 0.02)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=int)
+        return self.weight[token_ids]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1.0e-5):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / ((variance + self.eps) ** 0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout module."""
+
+    def __init__(self, rate: float = 0.1, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.rate, self.training, rng=self._rng)
+
+
+class FeedForward(Module):
+    """The Transformer position-wise feed-forward network (GELU activation)."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout_rate: float = 0.0, seed: int = 0):
+        super().__init__()
+        self.input_proj = Linear(dim, hidden_dim, seed=seed)
+        self.output_proj = Linear(hidden_dim, dim, seed=seed + 1)
+        self.dropout = Dropout(dropout_rate, seed=seed + 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.output_proj(gelu(self.input_proj(x))))
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x

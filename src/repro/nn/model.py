@@ -1,0 +1,155 @@
+"""Tiny Transformer classifiers with configurable attention mechanisms.
+
+These are the models trained for the accuracy experiments:
+
+* ``attention="window"``  — Longformer-style sliding-window attention
+  (supported by SWAT),
+* ``attention="bigbird"`` — BigBird window + global + random attention
+  (supported by SWAT),
+* ``attention="dense"``   — vanilla quadratic attention,
+* ``attention="fft"``     — full-FFT token mixing (the Butterfly accelerator's
+  fast configuration),
+* ``attention="hybrid"``  — FFT mixing in all layers except the last
+  ``num_softmax_layers`` (the BTF-1 / BTF-2 configurations of Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention_layers import FourierMixingAttention, SelfAttention, attention_mask_for
+from repro.nn.layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["EncoderLayer", "TransformerClassifier", "build_classifier"]
+
+
+class EncoderLayer(Module):
+    """Pre-norm Transformer encoder layer with a pluggable mixing module."""
+
+    def __init__(self, dim: int, mixer: Module, ffn_dim: int, dropout_rate: float = 0.0, seed: int = 0):
+        super().__init__()
+        self.norm_attention = LayerNorm(dim)
+        self.mixer = mixer
+        self.norm_ffn = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_dim, dropout_rate=dropout_rate, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.mixer(self.norm_attention(x))
+        x = x + self.ffn(self.norm_ffn(x))
+        return x
+
+
+class TransformerClassifier(Module):
+    """Token embedding + positional embedding + encoder stack + linear head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        seq_len: int,
+        num_classes: int,
+        dim: int = 32,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        ffn_dim: "int | None" = None,
+        attention: str = "window",
+        window: int = 8,
+        num_global: int = 1,
+        num_random: int = 2,
+        num_softmax_layers: int = 1,
+        dropout_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if num_classes <= 1:
+            raise ValueError("num_classes must be at least 2")
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        ffn_dim = ffn_dim if ffn_dim is not None else 2 * dim
+        self.seq_len = seq_len
+        self.attention_kind = attention.lower()
+        self.embedding = Embedding(vocab_size, dim, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        self.position = Parameter(rng.standard_normal((seq_len, dim)) * 0.02)
+        self.dropout = Dropout(dropout_rate, seed=seed + 2)
+        self.layers = [
+            EncoderLayer(
+                dim,
+                self._build_mixer(layer_index, num_layers, dim, num_heads, window,
+                                  num_global, num_random, num_softmax_layers,
+                                  dropout_rate, seed + 10 * (layer_index + 1)),
+                ffn_dim,
+                dropout_rate=dropout_rate,
+                seed=seed + 10 * (layer_index + 1) + 5,
+            )
+            for layer_index in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, seed=seed + 3)
+
+    def _build_mixer(
+        self,
+        layer_index: int,
+        num_layers: int,
+        dim: int,
+        num_heads: int,
+        window: int,
+        num_global: int,
+        num_random: int,
+        num_softmax_layers: int,
+        dropout_rate: float,
+        seed: int,
+    ) -> Module:
+        kind = self.attention_kind
+        if kind in ("dense", "window", "bigbird"):
+            mask = attention_mask_for(
+                kind,
+                self.seq_len,
+                window=window,
+                num_global=num_global,
+                num_random=num_random,
+                seed=seed,
+            )
+            return SelfAttention(dim, num_heads, mask=mask, dropout_rate=dropout_rate, seed=seed)
+        if kind == "fft":
+            return FourierMixingAttention(dim, self.seq_len)
+        if kind == "hybrid":
+            # BTF-k: the last `num_softmax_layers` layers use exact softmax
+            # attention (dense, as in the Butterfly accelerator's ATTN engine),
+            # the earlier layers use FFT mixing.
+            if layer_index >= num_layers - num_softmax_layers:
+                mask = attention_mask_for("dense", self.seq_len)
+                return SelfAttention(dim, num_heads, mask=mask, dropout_rate=dropout_rate, seed=seed)
+            return FourierMixingAttention(dim, self.seq_len)
+        raise ValueError(f"unknown attention kind {kind!r}")
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=int)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        if token_ids.shape[1] != self.seq_len:
+            raise ValueError(
+                f"sequence length {token_ids.shape[1]} does not match model seq_len {self.seq_len}"
+            )
+        x = self.embedding(token_ids) + self.position
+        x = self.dropout(x)
+        for layer in self.layers:
+            x = layer(x)
+        x = self.final_norm(x)
+        pooled = x.mean(axis=1)  # mean pooling over tokens
+        return self.head(pooled)
+
+
+def build_classifier(attention: str, task, **overrides) -> TransformerClassifier:
+    """Build a classifier for a :class:`repro.nn.data.SyntheticTask`.
+
+    ``attention`` picks the mixing mechanism; ``overrides`` are forwarded to
+    :class:`TransformerClassifier` (e.g. ``num_softmax_layers=2`` for BTF-2).
+    """
+    return TransformerClassifier(
+        vocab_size=task.vocab_size,
+        seq_len=task.seq_len,
+        num_classes=task.num_classes,
+        attention=attention,
+        **overrides,
+    )

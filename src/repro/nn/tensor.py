@@ -1,0 +1,389 @@
+"""A minimal reverse-mode automatic-differentiation tensor.
+
+The accuracy experiments (Tables 3 and 4 of the paper) require *training*
+small Transformer classifiers with different attention mechanisms.  Rather
+than depending on an external deep-learning framework, this module implements
+the small set of differentiable operations those models need on top of numpy:
+element-wise arithmetic, matrix multiplication, reductions, a few nonlinear
+activations, embedding lookup and shape manipulation.
+
+The design is the classic dynamic tape: every operation returns a new
+:class:`Tensor` holding references to its parents and a closure that knows how
+to push gradients back to them; :meth:`Tensor.backward` topologically sorts
+the graph and runs the closures in reverse order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: "tuple[int, ...]") -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were expanded from size one.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like value.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, _parents=(), _op: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: "np.ndarray | None" = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = tuple(_parents)
+        self._backward = None
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> "tuple[int, ...]":
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the autodiff graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array."""
+        return self.data
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _ensure(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data, parents, op, backward) -> "Tensor":
+        requires_grad = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires_grad, _parents=parents, _op=op)
+        if requires_grad:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(out_data, (self, other), "add", backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), "neg", backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), "mul", backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return self._make(out_data, (self, other), "div", backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad):
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), "pow", backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                self._accumulate(grad * b)
+                other._accumulate(grad * a)
+                return
+            a_mat = a if a.ndim > 1 else a[None, :]
+            b_mat = b if b.ndim > 1 else b[:, None]
+            grad_mat = grad
+            if a.ndim == 1:
+                grad_mat = grad_mat[None, ...]
+            if b.ndim == 1:
+                grad_mat = grad_mat[..., None]
+            grad_a = grad_mat @ np.swapaxes(b_mat, -1, -2)
+            grad_b = np.swapaxes(a_mat, -1, -2) @ grad_mat
+            if a.ndim == 1:
+                grad_a = grad_a[0]
+            if b.ndim == 1:
+                grad_b = grad_b[..., 0]
+            self._accumulate(_unbroadcast(grad_a, a.shape))
+            other._accumulate(_unbroadcast(grad_b, b.shape))
+
+        return self._make(out_data, (self, other), "matmul", backward)
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities and reductions
+    # ------------------------------------------------------------------ #
+
+    def exp(self) -> "Tensor":
+        """Element-wise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), "exp", backward)
+
+    def log(self) -> "Tensor":
+        """Element-wise natural logarithm."""
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), "log", backward)
+
+    def tanh(self) -> "Tensor":
+        """Element-wise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), "tanh", backward)
+
+    def relu(self) -> "Tensor":
+        """Element-wise rectified linear unit."""
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), "relu", backward)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (or all elements)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.data.shape)
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                expanded = np.broadcast_to(grad, self.data.shape)
+            self._accumulate(expanded)
+
+        return self._make(out_data, (self,), "sum", backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (or all elements)."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient flows to the (first) maximal entries."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.data.shape)
+                reference = np.broadcast_to(out_data, self.data.shape)
+            else:
+                grad_keep = grad if keepdims else np.expand_dims(grad, axis)
+                out_keep = out_data if keepdims else np.expand_dims(out_data, axis)
+                expanded = np.broadcast_to(grad_keep, self.data.shape)
+                reference = np.broadcast_to(out_keep, self.data.shape)
+            mask = (self.data == reference).astype(np.float64)
+            self._accumulate(expanded * mask)
+
+        return self._make(out_data, (self,), "max", backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation and indexing
+    # ------------------------------------------------------------------ #
+
+    def reshape(self, *shape) -> "Tensor":
+        """Return a reshaped view."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad):
+            self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return self._make(out_data, (self,), "reshape", backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute dimensions (defaults to reversing them)."""
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            self._accumulate(np.asarray(grad).transpose(inverse))
+
+        return self._make(out_data, (self,), "transpose", backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, np.asarray(grad))
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), "getitem", backward)
+
+    @staticmethod
+    def concatenate(tensors: "list[Tensor]", axis: int = 0) -> "Tensor":
+        """Concatenate tensors along ``axis``."""
+        tensors = [Tensor._ensure(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0, *sizes])
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slices = [slice(None)] * grad.ndim
+                slices[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slices)])
+
+        requires = any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires, _parents=tuple(tensors), _op="concat")
+        if requires:
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+
+    def backward(self, grad=None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to 1.0 and must be supplied for non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: "list[Tensor]" = []
+        visited: "set[int]" = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            visited.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and parent.requires_grad:
+                        visited.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    topo.append(current)
+                    stack.pop()
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None

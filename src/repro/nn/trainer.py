@@ -1,0 +1,103 @@
+"""Training and evaluation loop for the accuracy experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import SyntheticTask
+from repro.nn.functional import accuracy, softmax_cross_entropy
+from repro.nn.layers import Module
+from repro.nn.optim import Adam
+
+__all__ = ["TrainingResult", "Trainer"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run.
+
+    Attributes
+    ----------
+    task_name, attention:
+        Identification of the run.
+    train_accuracy, test_accuracy:
+        Final accuracies.
+    losses:
+        Mean training loss per epoch.
+    num_parameters:
+        Parameter count of the trained model.
+    """
+
+    task_name: str
+    attention: str
+    train_accuracy: float
+    test_accuracy: float
+    losses: "list[float]" = field(default_factory=list)
+    num_parameters: int = 0
+
+
+class Trainer:
+    """Minimal mini-batch trainer with Adam."""
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 3.0e-3,
+        batch_size: int = 32,
+        epochs: int = 6,
+        seed: int = 0,
+    ):
+        if batch_size <= 0 or epochs <= 0:
+            raise ValueError("batch_size and epochs must be positive")
+        self.model = model
+        self.optimizer = Adam(model.parameters(), lr=lr)
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self._rng = np.random.default_rng(seed)
+
+    def fit(self, task: SyntheticTask, attention_label: str = "") -> TrainingResult:
+        """Train on the task's training split and evaluate on its test split."""
+        tokens = np.asarray(task.train_tokens)
+        labels = np.asarray(task.train_labels)
+        losses = []
+        self.model.train()
+        for _ in range(self.epochs):
+            order = self._rng.permutation(len(tokens))
+            epoch_losses = []
+            for start in range(0, len(tokens), self.batch_size):
+                batch_index = order[start:start + self.batch_size]
+                logits = self.model(tokens[batch_index])
+                loss = softmax_cross_entropy(logits, labels[batch_index])
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(float(loss.data))
+            losses.append(float(np.mean(epoch_losses)))
+        train_accuracy = self.evaluate(tokens, labels)
+        test_accuracy = self.evaluate(task.test_tokens, task.test_labels)
+        return TrainingResult(
+            task_name=task.name,
+            attention=attention_label,
+            train_accuracy=train_accuracy,
+            test_accuracy=test_accuracy,
+            losses=losses,
+            num_parameters=self.model.num_parameters(),
+        )
+
+    def evaluate(self, tokens: np.ndarray, labels: np.ndarray) -> float:
+        """Return classification accuracy on ``tokens`` / ``labels``."""
+        self.model.eval()
+        correct = 0
+        total = 0
+        tokens = np.asarray(tokens)
+        labels = np.asarray(labels)
+        for start in range(0, len(tokens), self.batch_size):
+            batch_tokens = tokens[start:start + self.batch_size]
+            batch_labels = labels[start:start + self.batch_size]
+            logits = self.model(batch_tokens)
+            correct += accuracy(logits, batch_labels) * len(batch_labels)
+            total += len(batch_labels)
+        self.model.train()
+        return float(correct / total) if total else 0.0

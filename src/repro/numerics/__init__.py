@@ -1,0 +1,38 @@
+"""FP16/FP32 emulation and numerical-error metrics.
+
+SWAT's datapath is half-precision (FP16) by default, with an FP32 variant
+synthesised for the GPU comparison.  This package provides the precision
+descriptors used throughout the performance models and the quantisation /
+error helpers used to validate that the fused FP16 kernel stays close to the
+FP64 reference.
+"""
+
+from repro.numerics.floating import (
+    FP16,
+    FP32,
+    FP64,
+    Precision,
+    precision_from_name,
+    quantize,
+)
+from repro.numerics.error import (
+    ErrorReport,
+    compare,
+    max_abs_error,
+    max_relative_error,
+    mean_abs_error,
+)
+
+__all__ = [
+    "Precision",
+    "FP16",
+    "FP32",
+    "FP64",
+    "precision_from_name",
+    "quantize",
+    "ErrorReport",
+    "compare",
+    "max_abs_error",
+    "max_relative_error",
+    "mean_abs_error",
+]

@@ -1,0 +1,72 @@
+"""Error metrics for comparing reduced-precision results to a reference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "max_abs_error",
+    "mean_abs_error",
+    "max_relative_error",
+    "ErrorReport",
+    "compare",
+]
+
+
+def max_abs_error(result: np.ndarray, reference: np.ndarray) -> float:
+    """Maximum elementwise absolute error."""
+    result, reference = _broadcast(result, reference)
+    return float(np.max(np.abs(result - reference)))
+
+
+def mean_abs_error(result: np.ndarray, reference: np.ndarray) -> float:
+    """Mean elementwise absolute error."""
+    result, reference = _broadcast(result, reference)
+    return float(np.mean(np.abs(result - reference)))
+
+
+def max_relative_error(
+    result: np.ndarray, reference: np.ndarray, floor: float = 1.0e-12
+) -> float:
+    """Maximum elementwise relative error with a denominator floor.
+
+    The floor avoids dividing by (near-)zero reference entries; entries whose
+    reference magnitude is below the floor are compared absolutely against it.
+    """
+    result, reference = _broadcast(result, reference)
+    denom = np.maximum(np.abs(reference), floor)
+    return float(np.max(np.abs(result - reference) / denom))
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Summary of the numerical error between a result and its reference."""
+
+    max_abs: float
+    mean_abs: float
+    max_rel: float
+
+    def within(self, abs_tol: float, rel_tol: float) -> bool:
+        """True when both the absolute and relative errors are within tolerance."""
+        return self.max_abs <= abs_tol or self.max_rel <= rel_tol
+
+
+def compare(result: np.ndarray, reference: np.ndarray) -> ErrorReport:
+    """Build an :class:`ErrorReport` comparing ``result`` against ``reference``."""
+    return ErrorReport(
+        max_abs=max_abs_error(result, reference),
+        mean_abs=mean_abs_error(result, reference),
+        max_rel=max_relative_error(result, reference),
+    )
+
+
+def _broadcast(result: np.ndarray, reference: np.ndarray):
+    result = np.asarray(result, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if result.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: result {result.shape} vs reference {reference.shape}"
+        )
+    return result, reference

@@ -1,0 +1,82 @@
+"""Floating-point precision descriptors and quantisation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Precision", "FP16", "FP32", "FP64", "precision_from_name", "quantize"]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A floating-point format used by a datapath.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("fp16", "fp32", ...).
+    bits:
+        Total storage width in bits.
+    mantissa_bits:
+        Explicit mantissa (fraction) bits, excluding the hidden leading one.
+    exponent_bits:
+        Exponent field width.
+    dtype:
+        The numpy dtype used to emulate arithmetic/storage in this format.
+    """
+
+    name: str
+    bits: int
+    mantissa_bits: int
+    exponent_bits: int
+    dtype: np.dtype
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+        if 1 + self.mantissa_bits + self.exponent_bits != self.bits:
+            raise ValueError(
+                f"{self.name}: sign + mantissa ({self.mantissa_bits}) + exponent "
+                f"({self.exponent_bits}) bits must equal total bits ({self.bits})"
+            )
+
+    @property
+    def bytes(self) -> int:
+        """Storage size in bytes."""
+        return self.bits // 8
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Unit roundoff of the format (2^-mantissa_bits)."""
+        return float(2.0 ** (-self.mantissa_bits))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP16 = Precision(name="fp16", bits=16, mantissa_bits=10, exponent_bits=5, dtype=np.dtype(np.float16))
+FP32 = Precision(name="fp32", bits=32, mantissa_bits=23, exponent_bits=8, dtype=np.dtype(np.float32))
+FP64 = Precision(name="fp64", bits=64, mantissa_bits=52, exponent_bits=11, dtype=np.dtype(np.float64))
+
+_BY_NAME = {p.name: p for p in (FP16, FP32, FP64)}
+
+
+def precision_from_name(name: str) -> Precision:
+    """Look up a precision descriptor by name ("fp16", "fp32", "fp64")."""
+    key = name.strip().lower()
+    if key not in _BY_NAME:
+        raise ValueError(f"unknown precision {name!r}; expected one of {sorted(_BY_NAME)}")
+    return _BY_NAME[key]
+
+
+def quantize(values: np.ndarray, precision: Precision) -> np.ndarray:
+    """Round ``values`` to ``precision`` and return them as float64.
+
+    Round-tripping through the target dtype models the storage/compute
+    rounding of the hardware datapath while keeping downstream arithmetic in
+    float64 so that only the quantisation step introduces error.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return values.astype(precision.dtype).astype(np.float64)

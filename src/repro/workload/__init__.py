@@ -1,0 +1,19 @@
+"""Transformer workload specifications and operation accounting.
+
+Used by the Figure 1 reproduction (FLOPs / MOPs breakdown of a Transformer
+layer as the input length grows) and by the workload generators the examples
+and benchmarks share.
+"""
+
+from repro.workload.transformer import TransformerSpec
+from repro.workload.flops import LayerOpCounts, layer_op_counts, op_breakdown_by_length
+from repro.workload.generator import attention_inputs, token_embedding_inputs
+
+__all__ = [
+    "TransformerSpec",
+    "LayerOpCounts",
+    "layer_op_counts",
+    "op_breakdown_by_length",
+    "attention_inputs",
+    "token_embedding_inputs",
+]

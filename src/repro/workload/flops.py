@@ -1,0 +1,124 @@
+"""FLOPs and memory-operation accounting for Transformer layers (Figure 1).
+
+Figure 1 of the paper breaks one encoder layer's floating-point operations
+(FLOPs) and memory operations (MOPs) into three groups — the linear (QKV and
+output) projections, the attention computation itself, and the feed-forward
+network — and shows that the attention share grows with the input length
+until it dominates both budgets.  This module performs that accounting for
+dense attention and, for comparison, for sliding-window attention where the
+attention terms become linear in the sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.transformer import TransformerSpec
+
+__all__ = ["LayerOpCounts", "layer_op_counts", "op_breakdown_by_length"]
+
+
+@dataclass(frozen=True)
+class LayerOpCounts:
+    """Per-layer operation counts, split the way Figure 1 reports them.
+
+    Attributes
+    ----------
+    seq_len:
+        Input length the counts are evaluated at.
+    linear_flops, attention_flops, ffn_flops:
+        Floating-point operations of the QKV/output projections, the
+        attention computation (QK^T, softmax, S'V) and the FFN.
+    linear_mops, attention_mops, ffn_mops:
+        Memory operations (bytes moved to/from off-chip memory, counting
+        activations and weights once per layer).
+    """
+
+    seq_len: int
+    linear_flops: float
+    attention_flops: float
+    ffn_flops: float
+    linear_mops: float
+    attention_mops: float
+    ffn_mops: float
+
+    @property
+    def total_flops(self) -> float:
+        """Total layer FLOPs."""
+        return self.linear_flops + self.attention_flops + self.ffn_flops
+
+    @property
+    def total_mops(self) -> float:
+        """Total layer memory operations (bytes)."""
+        return self.linear_mops + self.attention_mops + self.ffn_mops
+
+    def flops_ratios(self) -> "dict[str, float]":
+        """Fraction of FLOPs in each group (the Figure 1 left panel)."""
+        total = self.total_flops
+        return {
+            "linear": self.linear_flops / total,
+            "attention": self.attention_flops / total,
+            "ffn": self.ffn_flops / total,
+        }
+
+    def mops_ratios(self) -> "dict[str, float]":
+        """Fraction of MOPs in each group (the Figure 1 right panel)."""
+        total = self.total_mops
+        return {
+            "linear": self.linear_mops / total,
+            "attention": self.attention_mops / total,
+            "ffn": self.ffn_mops / total,
+        }
+
+
+def layer_op_counts(spec: TransformerSpec, seq_len: int) -> LayerOpCounts:
+    """Count one encoder layer's FLOPs and MOPs at ``seq_len`` tokens."""
+    if seq_len <= 0:
+        raise ValueError("seq_len must be positive")
+    d = spec.hidden_dim
+    f = spec.ffn_dim
+    n = seq_len
+    bytes_per = spec.element_bytes
+
+    # Linear projections: Q, K, V and the output projection (4 GEMMs of n x d x d).
+    linear_flops = 4 * 2.0 * n * d * d
+    linear_weights = 4 * d * d
+    linear_activations = 5 * n * d  # input read + QKV + output written
+    linear_mops = (linear_weights + linear_activations) * bytes_per
+
+    # Attention: QK^T, softmax and S'V over either the full n x n score matrix
+    # or the banded window of width 2w+1.
+    if spec.uses_window_attention:
+        attended = min(n, 2 * spec.window + 1)
+    else:
+        attended = n
+    score_elements = float(n) * attended * spec.num_heads
+    attention_flops = score_elements * (2 * spec.head_dim) * 2 + 5 * score_elements
+    attention_activations = 3 * n * d + n * d  # Q, K, V read + Z written
+    attention_intermediates = 2 * score_elements  # scores + probabilities
+    attention_mops = (attention_activations + attention_intermediates) * bytes_per
+
+    # Feed-forward network: two GEMMs (d -> f -> d) plus the activation.
+    ffn_flops = 2.0 * n * d * f * 2 + n * f
+    ffn_weights = 2 * d * f
+    ffn_activations = n * d + n * f + n * d
+    ffn_mops = (ffn_weights + ffn_activations) * bytes_per
+
+    return LayerOpCounts(
+        seq_len=n,
+        linear_flops=linear_flops,
+        attention_flops=attention_flops,
+        ffn_flops=ffn_flops,
+        linear_mops=linear_mops,
+        attention_mops=attention_mops,
+        ffn_mops=ffn_mops,
+    )
+
+
+def op_breakdown_by_length(
+    spec: TransformerSpec, seq_lens: "list[int]"
+) -> "list[LayerOpCounts]":
+    """Evaluate :func:`layer_op_counts` over a sweep of input lengths."""
+    if not seq_lens:
+        raise ValueError("seq_lens must be non-empty")
+    return [layer_op_counts(spec, n) for n in seq_lens]

@@ -1,0 +1,48 @@
+"""Synthetic workload generators shared by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["attention_inputs", "token_embedding_inputs"]
+
+
+def attention_inputs(
+    seq_len: int,
+    head_dim: int,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Generate random Q, K, V matrices for one attention head.
+
+    Values are drawn from a normal distribution scaled so that the QK dot
+    products stay in a numerically comfortable range for FP16 (mirroring the
+    effect of layer normalisation in a real model).
+    """
+    if seq_len <= 0 or head_dim <= 0:
+        raise ValueError("seq_len and head_dim must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    shape = (3, seq_len, head_dim)
+    q, k, v = rng.standard_normal(shape) * scale
+    return q, k, v
+
+
+def token_embedding_inputs(
+    seq_len: int,
+    hidden_dim: int,
+    vocab_size: int = 1000,
+    seed: int = 0,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Generate a random token-id sequence and an embedding table.
+
+    Returns ``(token_ids, embedding_table)`` where ``token_ids`` has shape
+    ``(seq_len,)`` and the table has shape ``(vocab_size, hidden_dim)``.
+    """
+    if seq_len <= 0 or hidden_dim <= 0 or vocab_size <= 1:
+        raise ValueError("seq_len, hidden_dim must be positive and vocab_size > 1")
+    rng = np.random.default_rng(seed)
+    token_ids = rng.integers(0, vocab_size, size=seq_len)
+    table = rng.standard_normal((vocab_size, hidden_dim)) * 0.02
+    return token_ids, table

@@ -1,0 +1,88 @@
+"""Transformer model specifications used for operation accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransformerSpec"]
+
+
+@dataclass(frozen=True)
+class TransformerSpec:
+    """Structural parameters of a Transformer encoder.
+
+    Attributes
+    ----------
+    hidden_dim:
+        Model (embedding) dimensionality ``d_model``.
+    num_heads:
+        Attention heads per layer.
+    ffn_dim:
+        Hidden dimensionality of the feed-forward network (typically 4x).
+    num_layers:
+        Number of encoder layers.
+    window:
+        Sliding-window half-width when the model uses window attention;
+        ``None`` means full dense attention.
+    element_bytes:
+        Bytes per parameter/activation element (2 for FP16, 4 for FP32).
+    """
+
+    hidden_dim: int = 768
+    num_heads: int = 12
+    ffn_dim: int = 3072
+    num_layers: int = 12
+    window: "int | None" = None
+    element_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim <= 0 or self.num_heads <= 0 or self.ffn_dim <= 0:
+            raise ValueError("hidden_dim, num_heads and ffn_dim must be positive")
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.hidden_dim % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_dim {self.hidden_dim} must be divisible by num_heads {self.num_heads}"
+            )
+        if self.window is not None and self.window <= 0:
+            raise ValueError("window must be positive when set")
+        if self.element_bytes not in (2, 4):
+            raise ValueError("element_bytes must be 2 (FP16) or 4 (FP32)")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimensionality ``H``."""
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def uses_window_attention(self) -> bool:
+        """True when the attention is sliding-window rather than dense."""
+        return self.window is not None
+
+    @classmethod
+    def bert_base(cls, **overrides) -> "TransformerSpec":
+        """BERT-base-like dense-attention model (the Figure 1 workload)."""
+        return cls(hidden_dim=768, num_heads=12, ffn_dim=3072, num_layers=12, **overrides)
+
+    @classmethod
+    def longformer_base(cls, window: int = 256, **overrides) -> "TransformerSpec":
+        """Longformer-base-like model with sliding-window attention."""
+        return cls(
+            hidden_dim=768,
+            num_heads=12,
+            ffn_dim=3072,
+            num_layers=12,
+            window=window,
+            **overrides,
+        )
+
+    def with_window(self, window: "int | None") -> "TransformerSpec":
+        """Return a copy using the given sliding-window half-width."""
+        return TransformerSpec(
+            hidden_dim=self.hidden_dim,
+            num_heads=self.num_heads,
+            ffn_dim=self.ffn_dim,
+            num_layers=self.num_layers,
+            window=window,
+            element_bytes=self.element_bytes,
+        )

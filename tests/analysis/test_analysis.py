@@ -1,0 +1,79 @@
+"""Tests for the analysis metrics and table rendering."""
+
+import pytest
+
+from repro.analysis.metrics import energy_efficiency, geometric_mean, normalized_series, speedup
+from repro.analysis.report import Table, format_series, format_table
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_speedup_below_one_when_slower(self):
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_energy_efficiency(self):
+        assert energy_efficiency(30.0, 3.0) == pytest.approx(10.0)
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            energy_efficiency(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_normalized_series(self):
+        assert normalized_series([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_normalized_series_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalized_series([1.0], 0.0)
+
+
+class TestTable:
+    def test_add_row_and_column_access(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_wrong_arity_raises(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_unknown_column_raises(self):
+        table = Table(title="t", columns=["a"])
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_render_contains_title_and_values(self):
+        table = Table(title="My table", columns=["x", "value"])
+        table.add_row(1024, 3.14159)
+        text = table.render()
+        assert "My table" in text and "1024" in text and "3.142" in text
+
+    def test_render_aligns_columns(self):
+        table = Table(title="t", columns=["name", "v"])
+        table.add_row("a", 1)
+        table.add_row("long-name", 2)
+        lines = format_table(table).splitlines()
+        assert len(lines[1]) == len(lines[3])
+
+    def test_scientific_formatting_for_extreme_values(self):
+        table = Table(title="t", columns=["v"])
+        table.add_row(1.0e-9)
+        assert "e-09" in table.render()
+
+    def test_format_series(self):
+        text = format_series("fig", "n", [1, 2], {"a": [0.1, 0.2], "b": [1.0, 2.0]})
+        assert "fig" in text and "0.1" in text and "2" in text

@@ -1,0 +1,107 @@
+"""Tests for BigBird attention and the butterfly/FFT approximations."""
+
+import numpy as np
+import pytest
+
+from repro.attention.bigbird import bigbird_attention, longformer_attention
+from repro.attention.butterfly import (
+    butterfly_factor,
+    butterfly_flops,
+    butterfly_matrix,
+    fft_mixing_attention,
+)
+from repro.attention.dense import dense_attention
+from repro.attention.masks import AttentionPattern
+from repro.workload.generator import attention_inputs
+
+
+class TestBigBirdAttention:
+    def test_matches_masked_dense(self):
+        q, k, v = attention_inputs(24, 8, seed=0)
+        pattern = AttentionPattern.bigbird(24, window=3, num_global=2, num_random=2, seed=5)
+        expected = dense_attention(q, k, v, mask=pattern.build_mask())
+        result = bigbird_attention(q, k, v, window=3, num_global=2, num_random=2, seed=5)
+        np.testing.assert_allclose(result, expected)
+
+    def test_longformer_matches_masked_dense(self):
+        q, k, v = attention_inputs(24, 8, seed=1)
+        pattern = AttentionPattern.longformer(24, window=4, num_global=2)
+        expected = dense_attention(q, k, v, mask=pattern.build_mask())
+        np.testing.assert_allclose(
+            longformer_attention(q, k, v, window=4, num_global=2), expected
+        )
+
+    def test_more_random_tokens_changes_output(self):
+        q, k, v = attention_inputs(32, 8, seed=2)
+        sparse = bigbird_attention(q, k, v, window=2, num_global=0, num_random=1, seed=3)
+        denser = bigbird_attention(q, k, v, window=2, num_global=0, num_random=8, seed=3)
+        assert not np.allclose(sparse, denser)
+
+
+class TestButterflyMatrix:
+    def test_factor_has_two_nonzeros_per_row(self):
+        factor = butterfly_factor(8, level=1)
+        assert ((factor != 0).sum(axis=1) == 2).all()
+
+    def test_matrix_is_product_of_log_n_factors(self):
+        matrix = butterfly_matrix(8)
+        rebuilt = np.eye(8)
+        for level in range(3):
+            rebuilt = butterfly_factor(8, level) @ rebuilt
+        np.testing.assert_allclose(matrix, rebuilt)
+
+    def test_deterministic_matrix_is_hadamard_like(self):
+        matrix = butterfly_matrix(4)
+        assert set(np.unique(np.abs(matrix))) == {1.0}
+
+    def test_random_matrix_is_seed_deterministic(self):
+        np.testing.assert_allclose(butterfly_matrix(16, seed=3), butterfly_matrix(16, seed=3))
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(ValueError):
+            butterfly_matrix(12)
+        with pytest.raises(ValueError):
+            butterfly_factor(6, 0)
+
+    def test_level_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            butterfly_factor(8, 3)
+
+
+class TestButterflyFlops:
+    def test_n_log_n_scaling(self):
+        assert butterfly_flops(1024, 64) == 4 * 1024 * 64 * 10
+
+    def test_much_cheaper_than_dense(self):
+        n, h = 4096, 64
+        dense_flops = 4 * h * n * n
+        assert butterfly_flops(n, h) < dense_flops / 50
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            butterfly_flops(100, 64)
+        with pytest.raises(ValueError):
+            butterfly_flops(64, 0)
+
+
+class TestFFTMixing:
+    def test_output_shape_preserved(self):
+        x = np.random.default_rng(0).standard_normal((16, 8))
+        assert fft_mixing_attention(x).shape == (16, 8)
+
+    def test_is_linear(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((2, 8, 4))
+        np.testing.assert_allclose(
+            fft_mixing_attention(a + 2.0 * b),
+            fft_mixing_attention(a) + 2.0 * fft_mixing_attention(b),
+            atol=1e-9,
+        )
+
+    def test_output_is_real(self):
+        x = np.random.default_rng(2).standard_normal((8, 8))
+        assert np.isrealobj(fft_mixing_attention(x))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            fft_mixing_attention(np.zeros(8))

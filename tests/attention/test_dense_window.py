@@ -1,0 +1,119 @@
+"""Tests for dense and sliding-window attention references."""
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import dense_attention
+from repro.attention.masks import window_mask
+from repro.attention.softmax import softmax
+from repro.attention.window import banded_stats, window_attention, window_attention_banded
+from repro.workload.generator import attention_inputs
+
+
+def _inputs(seq_len=24, head_dim=8, seed=0):
+    return attention_inputs(seq_len, head_dim, seed=seed)
+
+
+class TestDenseAttention:
+    def test_matches_manual_computation(self):
+        q, k, v = _inputs(6, 4)
+        scores = (q @ k.T) / np.sqrt(4)
+        expected = softmax(scores) @ v
+        np.testing.assert_allclose(dense_attention(q, k, v), expected)
+
+    def test_output_shape(self):
+        q, k, v = _inputs(10, 16)
+        assert dense_attention(q, k, v).shape == (10, 16)
+
+    def test_custom_scale(self):
+        q, k, v = _inputs(8, 4)
+        default = dense_attention(q, k, v)
+        scaled = dense_attention(q, k, v, scale=1.0)
+        assert not np.allclose(default, scaled)
+
+    def test_output_rows_are_convex_combinations(self):
+        q, k, v = _inputs(12, 4)
+        output = dense_attention(q, k, v)
+        assert output.min() >= v.min() - 1e-9
+        assert output.max() <= v.max() + 1e-9
+
+    def test_mask_restricts_attention(self):
+        q, k, v = _inputs(8, 4)
+        mask = np.eye(8, dtype=bool)
+        np.testing.assert_allclose(dense_attention(q, k, v, mask=mask), v)
+
+    def test_dimension_mismatch_raises(self):
+        q, k, v = _inputs(8, 4)
+        with pytest.raises(ValueError):
+            dense_attention(q, k[:, :2], v)
+
+    def test_kv_length_mismatch_raises(self):
+        q, k, v = _inputs(8, 4)
+        with pytest.raises(ValueError):
+            dense_attention(q, k, v[:4])
+
+    def test_wrong_mask_shape_raises(self):
+        q, k, v = _inputs(8, 4)
+        with pytest.raises(ValueError):
+            dense_attention(q, k, v, mask=np.ones((4, 4), dtype=bool))
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            dense_attention(np.zeros(4), np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestWindowAttention:
+    def test_equals_masked_dense(self):
+        q, k, v = _inputs(20, 8)
+        expected = dense_attention(q, k, v, mask=window_mask(20, 3))
+        np.testing.assert_allclose(window_attention(q, k, v, window=3), expected)
+
+    def test_banded_equals_masked(self):
+        q, k, v = _inputs(20, 8)
+        np.testing.assert_allclose(
+            window_attention_banded(q, k, v, window=3),
+            window_attention(q, k, v, window=3),
+            atol=1e-10,
+        )
+
+    def test_full_window_equals_dense(self):
+        q, k, v = _inputs(10, 4)
+        np.testing.assert_allclose(
+            window_attention(q, k, v, window=10), dense_attention(q, k, v)
+        )
+
+    def test_zero_window_returns_value_rows(self):
+        q, k, v = _inputs(6, 4)
+        np.testing.assert_allclose(window_attention_banded(q, k, v, window=0), v)
+
+    def test_banded_negative_window_raises(self):
+        q, k, v = _inputs(6, 4)
+        with pytest.raises(ValueError):
+            window_attention_banded(q, k, v, window=-1)
+
+    def test_banded_shape_mismatch_raises(self):
+        q, k, v = _inputs(6, 4)
+        with pytest.raises(ValueError):
+            window_attention_banded(q, k[:4], v[:4], window=2)
+
+
+class TestBandedStats:
+    def test_score_elements_counted_exactly(self):
+        stats = banded_stats(seq_len=10, window=2, head_dim=4)
+        expected = sum(min(10, i + 3) - max(0, i - 2) for i in range(10))
+        assert stats.score_elements == expected
+
+    def test_kv_loaded_once(self):
+        stats = banded_stats(seq_len=32, window=4, head_dim=8)
+        assert stats.kv_elements_loaded == 2 * 32 * 8
+
+    def test_flops_scale_linearly_with_seq_len(self):
+        small = banded_stats(seq_len=64, window=4, head_dim=8)
+        large = banded_stats(seq_len=128, window=4, head_dim=8)
+        assert large.flops == pytest.approx(2 * small.flops, rel=0.1)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            banded_stats(0, 2, 4)
+        with pytest.raises(ValueError):
+            banded_stats(4, -1, 4)

@@ -1,0 +1,117 @@
+"""Tests for the fused row-wise attention kernel (Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attention.dense import dense_attention
+from repro.attention.fused import fused_row, fused_window_attention
+from repro.attention.masks import AttentionPattern, window_mask
+from repro.attention.softmax import softmax
+from repro.attention.window import window_attention
+from repro.workload.generator import attention_inputs
+
+
+class TestFusedRow:
+    def test_matches_softmax_attention_row(self):
+        rng = np.random.default_rng(0)
+        q_row = rng.standard_normal(8)
+        k_rows = rng.standard_normal((5, 8))
+        v_rows = rng.standard_normal((5, 8))
+        result = fused_row(q_row, k_rows, v_rows)
+        scores = (k_rows @ q_row) / np.sqrt(8)
+        expected = softmax(scores) @ v_rows
+        np.testing.assert_allclose(result.z, expected)
+
+    def test_row_sum_is_sum_of_weights(self):
+        rng = np.random.default_rng(1)
+        result = fused_row(rng.standard_normal(4), rng.standard_normal((3, 4)), rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(result.z_unscaled / result.row_sum, result.z)
+
+    def test_subtract_max_does_not_change_result(self):
+        rng = np.random.default_rng(2)
+        q_row = rng.standard_normal(6)
+        k_rows = rng.standard_normal((4, 6))
+        v_rows = rng.standard_normal((4, 6))
+        with_max = fused_row(q_row, k_rows, v_rows, subtract_max=True)
+        without_max = fused_row(q_row, k_rows, v_rows, subtract_max=False)
+        np.testing.assert_allclose(with_max.z, without_max.z, atol=1e-12)
+
+    def test_single_key_returns_its_value(self):
+        rng = np.random.default_rng(3)
+        v_rows = rng.standard_normal((1, 4))
+        result = fused_row(rng.standard_normal(4), rng.standard_normal((1, 4)), v_rows)
+        np.testing.assert_allclose(result.z, v_rows[0])
+
+    def test_empty_keys_raise(self):
+        with pytest.raises(ValueError):
+            fused_row(np.zeros(4), np.zeros((0, 4)), np.zeros((0, 4)))
+
+    def test_mismatched_kv_raise(self):
+        with pytest.raises(ValueError):
+            fused_row(np.zeros(4), np.zeros((3, 4)), np.zeros((2, 4)))
+
+    def test_wrong_head_dim_raises(self):
+        with pytest.raises(ValueError):
+            fused_row(np.zeros(4), np.zeros((3, 5)), np.zeros((3, 5)))
+
+    @given(num_keys=st.integers(1, 12), head_dim=st.integers(1, 16), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_weights_normalise(self, num_keys, head_dim, seed):
+        rng = np.random.default_rng(seed)
+        result = fused_row(
+            rng.standard_normal(head_dim),
+            rng.standard_normal((num_keys, head_dim)),
+            rng.standard_normal((num_keys, head_dim)),
+        )
+        assert result.row_sum > 0
+        assert np.isfinite(result.z).all()
+
+
+class TestFusedWindowAttention:
+    def test_matches_window_attention(self):
+        q, k, v = attention_inputs(24, 8, seed=0)
+        np.testing.assert_allclose(
+            fused_window_attention(q, k, v, window=3),
+            window_attention(q, k, v, window=3),
+            atol=1e-10,
+        )
+
+    def test_with_global_tokens_matches_masked_dense(self):
+        # Every query row additionally attends the global key positions (the
+        # direction SWAT's global attention cores implement).
+        q, k, v = attention_inputs(20, 8, seed=1)
+        mask = window_mask(20, 2)
+        mask[:, [0, 5]] = True
+        expected = dense_attention(q, k, v, mask=mask)
+        result = fused_window_attention(q, k, v, window=2, global_tokens=(0, 5))
+        np.testing.assert_allclose(result, expected, atol=1e-10)
+
+    def test_with_random_tokens_matches_masked_dense(self):
+        q, k, v = attention_inputs(16, 4, seed=2)
+        random_tokens = {i: (max(0, i - 5),) for i in range(16)}
+        mask = window_mask(16, 1)
+        for row, extras in random_tokens.items():
+            mask[row, list(extras)] = True
+        expected = dense_attention(q, k, v, mask=mask)
+        result = fused_window_attention(q, k, v, window=1, random_tokens=random_tokens)
+        np.testing.assert_allclose(result, expected, atol=1e-10)
+
+    def test_no_max_subtraction_matches(self):
+        q, k, v = attention_inputs(12, 4, seed=3)
+        np.testing.assert_allclose(
+            fused_window_attention(q, k, v, window=2, subtract_max=False),
+            window_attention(q, k, v, window=2),
+            atol=1e-9,
+        )
+
+    def test_invalid_global_token_raises(self):
+        q, k, v = attention_inputs(8, 4)
+        with pytest.raises(ValueError):
+            fused_window_attention(q, k, v, window=1, global_tokens=(99,))
+
+    def test_negative_window_raises(self):
+        q, k, v = attention_inputs(8, 4)
+        with pytest.raises(ValueError):
+            fused_window_attention(q, k, v, window=-1)

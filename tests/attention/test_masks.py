@@ -1,0 +1,203 @@
+"""Tests for the static attention-mask builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attention.masks import (
+    AttentionPattern,
+    band_mask,
+    bigbird_mask,
+    causal_mask,
+    dense_mask,
+    global_mask,
+    mask_density,
+    random_mask,
+    rows_attended,
+    swat_window_mask,
+    window_mask,
+)
+
+
+class TestDenseAndCausal:
+    def test_dense_mask_is_all_true(self):
+        assert dense_mask(5).all()
+
+    def test_dense_mask_shape(self):
+        assert dense_mask(7).shape == (7, 7)
+
+    def test_causal_mask_lower_triangular(self):
+        mask = causal_mask(6)
+        assert mask[3, 3] and mask[3, 0]
+        assert not mask[0, 3]
+
+    def test_causal_mask_diagonal_attended(self):
+        assert np.diag(causal_mask(9)).all()
+
+    def test_invalid_seq_len_raises(self):
+        with pytest.raises(ValueError):
+            dense_mask(0)
+
+
+class TestWindowMask:
+    def test_window_zero_is_identity(self):
+        assert np.array_equal(window_mask(5, 0), np.eye(5, dtype=bool))
+
+    def test_window_width(self):
+        mask = window_mask(10, 2)
+        assert mask[5, 3] and mask[5, 7]
+        assert not mask[5, 2] and not mask[5, 8]
+
+    def test_window_mask_symmetric(self):
+        mask = window_mask(16, 3)
+        assert np.array_equal(mask, mask.T)
+
+    def test_interior_rows_attend_2w_plus_1(self):
+        mask = window_mask(20, 4)
+        assert rows_attended(mask)[10] == 9
+
+    def test_boundary_rows_clipped(self):
+        mask = window_mask(20, 4)
+        assert rows_attended(mask)[0] == 5
+
+    def test_negative_window_raises(self):
+        with pytest.raises(ValueError):
+            window_mask(4, -1)
+
+    @given(seq_len=st.integers(2, 40), window=st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_diagonal_always_attended(self, seq_len, window):
+        assert np.diag(window_mask(seq_len, window)).all()
+
+    @given(seq_len=st.integers(2, 40), window=st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_rows_attended_bounded_by_band(self, seq_len, window):
+        assert rows_attended(window_mask(seq_len, window)).max() <= 2 * window + 1
+
+
+class TestBandAndSwatWindow:
+    def test_band_mask_asymmetric(self):
+        mask = band_mask(10, before=2, after=1)
+        assert mask[5, 3] and mask[5, 6]
+        assert not mask[5, 2] and not mask[5, 7]
+
+    def test_band_symmetric_matches_window(self):
+        assert np.array_equal(band_mask(12, 3, 3), window_mask(12, 3))
+
+    def test_swat_window_mask_covers_2w_keys(self):
+        mask = swat_window_mask(64, 8)
+        assert rows_attended(mask)[32] == 8
+
+    def test_swat_window_mask_includes_self(self):
+        assert np.diag(swat_window_mask(32, 6)).all()
+
+    def test_swat_window_requires_even(self):
+        with pytest.raises(ValueError):
+            swat_window_mask(16, 5)
+
+    def test_band_negative_raises(self):
+        with pytest.raises(ValueError):
+            band_mask(4, -1, 0)
+
+
+class TestGlobalAndRandom:
+    def test_global_mask_row_and_column(self):
+        mask = global_mask(8, [2])
+        assert mask[2, :].all() and mask[:, 2].all()
+        assert not mask[3, 4]
+
+    def test_global_mask_empty(self):
+        assert not global_mask(5, []).any()
+
+    def test_global_mask_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            global_mask(5, [5])
+
+    def test_random_mask_tokens_per_row(self):
+        mask = random_mask(20, 3, seed=1)
+        assert (rows_attended(mask) == 3).all()
+
+    def test_random_mask_deterministic(self):
+        assert np.array_equal(random_mask(16, 2, seed=7), random_mask(16, 2, seed=7))
+
+    def test_random_mask_seed_changes_pattern(self):
+        assert not np.array_equal(random_mask(32, 2, seed=1), random_mask(32, 2, seed=2))
+
+    def test_random_mask_excludes_window(self):
+        mask = random_mask(30, 2, seed=0, exclude_window=3)
+        offsets = np.abs(np.subtract.outer(np.arange(30), np.arange(30)))
+        assert not (mask & (offsets <= 3)).any()
+
+    def test_random_mask_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            random_mask(10, -1)
+
+
+class TestBigBirdMask:
+    def test_contains_window(self):
+        mask = bigbird_mask(32, window=2, num_global=2, num_random=2, seed=0)
+        assert (mask & window_mask(32, 2) == window_mask(32, 2)).all()
+
+    def test_contains_global(self):
+        mask = bigbird_mask(32, window=2, num_global=2, num_random=0)
+        assert mask[:, 0].all() and mask[:, 1].all()
+
+    def test_density_higher_than_window_alone(self):
+        window_only = mask_density(window_mask(64, 2))
+        combined = mask_density(bigbird_mask(64, window=2, num_global=4, num_random=4))
+        assert combined > window_only
+
+    def test_global_count_clipped_to_seq_len(self):
+        mask = bigbird_mask(4, window=1, num_global=10, num_random=0)
+        assert mask.all()
+
+
+class TestMaskDensity:
+    def test_dense_density_is_one(self):
+        assert mask_density(dense_mask(9)) == pytest.approx(1.0)
+
+    def test_identity_density(self):
+        assert mask_density(np.eye(10, dtype=bool)) == pytest.approx(0.1)
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            mask_density(np.zeros((0, 0), dtype=bool))
+
+    @given(seq_len=st.integers(4, 64), window=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_window_density_linear_bound(self, seq_len, window):
+        density = mask_density(window_mask(seq_len, window))
+        assert density <= min(1.0, (2 * window + 1) / seq_len)
+
+
+class TestAttentionPattern:
+    def test_longformer_factory(self):
+        pattern = AttentionPattern.longformer(64, window=4, num_global=2)
+        assert pattern.global_tokens == (0, 1)
+        assert pattern.random_tokens_per_row == 0
+
+    def test_bigbird_factory(self):
+        pattern = AttentionPattern.bigbird(64, window=4, num_global=2, num_random=3)
+        assert pattern.random_tokens_per_row == 3
+
+    def test_build_mask_matches_components(self):
+        pattern = AttentionPattern.longformer(32, window=3, num_global=1)
+        expected = window_mask(32, 3) | global_mask(32, [0])
+        assert np.array_equal(pattern.build_mask(), expected)
+
+    def test_tokens_attended_per_row(self):
+        pattern = AttentionPattern.bigbird(128, window=4, num_global=2, num_random=3)
+        assert pattern.tokens_attended_per_row() == 2 * 4 + 1 + 2 + 3
+
+    def test_density_between_zero_and_one(self):
+        pattern = AttentionPattern.bigbird(64, window=2, num_global=1, num_random=1)
+        assert 0.0 < pattern.density() <= 1.0
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            AttentionPattern(seq_len=10, window=-1)
+
+    def test_invalid_global_index_raises(self):
+        with pytest.raises(ValueError):
+            AttentionPattern(seq_len=10, window=1, global_tokens=(12,))

@@ -1,0 +1,83 @@
+"""Tests for the sliding-chunks implementation and its accounting."""
+
+import numpy as np
+import pytest
+
+from repro.attention.sliding_chunks import sliding_chunks_attention, sliding_chunks_stats
+from repro.attention.window import window_attention
+from repro.workload.generator import attention_inputs
+
+
+class TestSlidingChunksAttention:
+    def test_matches_window_attention(self):
+        q, k, v = attention_inputs(32, 8, seed=0)
+        np.testing.assert_allclose(
+            sliding_chunks_attention(q, k, v, window=4),
+            window_attention(q, k, v, window=4),
+            atol=1e-9,
+        )
+
+    def test_matches_for_non_divisible_length(self):
+        q, k, v = attention_inputs(30, 8, seed=1)
+        np.testing.assert_allclose(
+            sliding_chunks_attention(q, k, v, window=4),
+            window_attention(q, k, v, window=4),
+            atol=1e-9,
+        )
+
+    def test_single_chunk_degenerate_case(self):
+        q, k, v = attention_inputs(6, 4, seed=2)
+        np.testing.assert_allclose(
+            sliding_chunks_attention(q, k, v, window=8),
+            window_attention(q, k, v, window=8),
+            atol=1e-9,
+        )
+
+    def test_zero_window_raises(self):
+        q, k, v = attention_inputs(8, 4)
+        with pytest.raises(ValueError):
+            sliding_chunks_attention(q, k, v, window=0)
+
+    def test_shape_mismatch_raises(self):
+        q, k, v = attention_inputs(8, 4)
+        with pytest.raises(ValueError):
+            sliding_chunks_attention(q, k[:4], v[:4], window=2)
+
+
+class TestSlidingChunksStats:
+    def test_useful_elements_match_band(self):
+        stats = sliding_chunks_stats(seq_len=64, window=8, head_dim=4)
+        offsets = np.abs(np.subtract.outer(np.arange(64), np.arange(64)))
+        assert stats.score_elements_useful == int((offsets <= 8).sum())
+
+    def test_redundancy_positive_for_multiple_chunks(self):
+        stats = sliding_chunks_stats(seq_len=256, window=16, head_dim=8)
+        assert stats.redundancy_ratio > 0.2
+
+    def test_redundancy_approaches_one_half(self):
+        stats = sliding_chunks_stats(seq_len=16384, window=256, head_dim=64)
+        assert 0.40 < stats.redundancy_ratio < 0.52
+
+    def test_redundancy_grows_with_chunk_count(self):
+        few = sliding_chunks_stats(seq_len=512, window=128, head_dim=8)
+        many = sliding_chunks_stats(seq_len=4096, window=128, head_dim=8)
+        assert many.redundancy_ratio > few.redundancy_ratio
+
+    def test_computed_at_least_useful(self):
+        stats = sliding_chunks_stats(seq_len=100, window=10, head_dim=4)
+        assert stats.score_elements_computed >= stats.score_elements_useful
+
+    def test_kernel_launches_scale_with_chunks(self):
+        stats = sliding_chunks_stats(seq_len=1024, window=64, head_dim=8)
+        assert stats.kernel_launches == 3 * stats.num_chunks
+
+    def test_memory_linear_in_seq_len(self):
+        small = sliding_chunks_stats(seq_len=1024, window=64, head_dim=8)
+        large = sliding_chunks_stats(seq_len=2048, window=64, head_dim=8)
+        assert large.memory_bytes_fp32 == pytest.approx(2 * small.memory_bytes_fp32, rel=0.1)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            sliding_chunks_stats(0, 4, 8)
+        with pytest.raises(ValueError):
+            sliding_chunks_stats(16, 0, 8)

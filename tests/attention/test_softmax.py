@@ -1,0 +1,86 @@
+"""Tests for the softmax helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+from hypothesis import strategies as st
+
+from repro.attention.softmax import masked_softmax, softmax, unnormalised_softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).standard_normal((4, 7)))
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+    def test_probabilities_non_negative(self):
+        probs = softmax(np.array([[1.0, -2.0, 3.0]]))
+        assert (probs >= 0).all()
+
+    def test_shift_invariance(self):
+        scores = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(scores), softmax(scores + 100.0))
+
+    def test_large_scores_do_not_overflow(self):
+        probs = softmax(np.array([1.0e4, 1.0e4 + 1.0]))
+        assert np.isfinite(probs).all()
+
+    def test_uniform_scores_give_uniform_probs(self):
+        np.testing.assert_allclose(softmax(np.zeros(5)), np.full(5, 0.2))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8),
+            elements=st.floats(-50, 50),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_rows_sum_to_one(self, scores):
+        np.testing.assert_allclose(softmax(scores).sum(axis=-1), 1.0, rtol=1e-9)
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_are_zero(self):
+        scores = np.random.default_rng(1).standard_normal((3, 5))
+        mask = np.zeros((3, 5), dtype=bool)
+        mask[:, :2] = True
+        probs = masked_softmax(scores, mask)
+        assert (probs[:, 2:] == 0).all()
+
+    def test_attended_rows_sum_to_one(self):
+        scores = np.random.default_rng(2).standard_normal((3, 5))
+        mask = np.ones((3, 5), dtype=bool)
+        mask[:, -1] = False
+        np.testing.assert_allclose(masked_softmax(scores, mask).sum(axis=-1), 1.0)
+
+    def test_all_true_mask_matches_plain_softmax(self):
+        scores = np.random.default_rng(3).standard_normal((2, 6))
+        np.testing.assert_allclose(
+            masked_softmax(scores, np.ones_like(scores, dtype=bool)), softmax(scores)
+        )
+
+    def test_empty_row_raises(self):
+        with pytest.raises(ValueError):
+            masked_softmax(np.zeros((2, 3)), np.zeros((2, 3), dtype=bool))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            masked_softmax(np.zeros((2, 3)), np.ones((3, 2), dtype=bool))
+
+
+class TestUnnormalisedSoftmax:
+    def test_ratio_recovers_softmax(self):
+        scores = np.random.default_rng(4).standard_normal((5, 9))
+        numerator, denominator = unnormalised_softmax(scores)
+        np.testing.assert_allclose(numerator / denominator, softmax(scores))
+
+    def test_denominator_is_row_sum_of_numerator(self):
+        scores = np.random.default_rng(5).standard_normal((4, 4))
+        numerator, denominator = unnormalised_softmax(scores)
+        np.testing.assert_allclose(numerator.sum(axis=-1, keepdims=True), denominator)
+
+    def test_numerator_positive(self):
+        numerator, _ = unnormalised_softmax(np.array([[-3.0, 0.0, 3.0]]))
+        assert (numerator > 0).all()

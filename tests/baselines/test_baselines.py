@@ -1,0 +1,136 @@
+"""Tests for the Butterfly accelerator baseline and the resource projection."""
+
+import pytest
+
+from repro.baselines.butterfly_accel import BTF1, BTF2, FULL_FFT, ButterflyAccelerator, ButterflyModelConfig
+from repro.baselines.dense_fpga import DenseFPGABaseline
+from repro.baselines.projection import optimal_split
+from repro.core.config import SWATConfig
+from repro.core.simulator import SWATSimulator
+
+
+class TestProjection:
+    def test_closed_form_is_optimal(self):
+        """The closed-form split should beat any sampled alternative."""
+        attn_work, fft_work = 1.0e9, 2.0e7
+        best = optimal_split(attn_work, 100.0, fft_work, 150.0)
+        for alpha in [0.1 * i for i in range(1, 10)]:
+            sampled = attn_work / (alpha * 100.0) + fft_work / ((1 - alpha) * 150.0)
+            assert best.total_cycles <= sampled + 1e-6
+
+    def test_fractions_sum_to_one(self):
+        allocation = optimal_split(1e6, 10.0, 1e6, 10.0)
+        assert allocation.attn_fraction + allocation.fft_fraction == pytest.approx(1.0)
+
+    def test_equal_work_equal_split(self):
+        allocation = optimal_split(1e6, 10.0, 1e6, 10.0)
+        assert allocation.attn_fraction == pytest.approx(0.5)
+
+    def test_pure_attention_configuration(self):
+        allocation = optimal_split(1e6, 10.0, 0.0, 10.0)
+        assert allocation.attn_fraction == 1.0
+        assert allocation.total_cycles == pytest.approx(1e5)
+
+    def test_pure_fft_configuration(self):
+        allocation = optimal_split(0.0, 10.0, 1e6, 20.0)
+        assert allocation.fft_fraction == 1.0
+        assert allocation.total_cycles == pytest.approx(5e4)
+
+    def test_no_work(self):
+        assert optimal_split(0.0, 1.0, 0.0, 1.0).total_cycles == 0.0
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            optimal_split(-1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            optimal_split(1.0, 0.0, 1.0, 1.0)
+
+
+class TestButterflyConfigs:
+    def test_named_configurations(self):
+        assert FULL_FFT.num_softmax_layers == 0
+        assert BTF1.num_softmax_layers == 1
+        assert BTF2.num_softmax_layers == 2
+
+    def test_fft_layers_complement(self):
+        assert BTF2.num_fft_layers == BTF2.num_layers - 2
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ValueError):
+            ButterflyModelConfig(name="bad", num_layers=2, num_softmax_layers=3)
+
+
+class TestButterflyAccelerator:
+    def test_attention_layer_work_quadratic(self):
+        accel = ButterflyAccelerator()
+        assert accel.attention_layer_flops(8192) == pytest.approx(4 * accel.attention_layer_flops(4096))
+
+    def test_fft_layer_work_nearly_linear(self):
+        accel = ButterflyAccelerator()
+        ratio = accel.fft_layer_flops(8192) / accel.fft_layer_flops(4096)
+        assert 2.0 < ratio < 2.4
+
+    def test_btf2_slower_than_btf1(self):
+        accel = ButterflyAccelerator()
+        assert accel.run(4096, BTF2).seconds > accel.run(4096, BTF1).seconds
+
+    def test_full_fft_much_faster_than_btf1_at_long_lengths(self):
+        accel = ButterflyAccelerator()
+        assert accel.run(16384, FULL_FFT).seconds < accel.run(16384, BTF1).seconds / 10
+
+    def test_allocation_favours_attention_engine_for_long_inputs(self):
+        accel = ButterflyAccelerator()
+        assert accel.run(16384, BTF1).allocation.attn_fraction > 0.8
+
+    def test_paper_speedup_anchor_at_4096(self):
+        """SWAT vs BTF-1/BTF-2 at 4096 tokens should reproduce ~6.7x / ~12.2x."""
+        swat = SWATSimulator(SWATConfig.longformer())
+        accel = ButterflyAccelerator()
+        swat_model = swat.estimate(4096).seconds * BTF1.num_layers
+        speedup1 = accel.run(4096, BTF1).seconds / swat_model
+        speedup2 = accel.run(4096, BTF2).seconds / swat_model
+        assert speedup1 == pytest.approx(6.7, rel=0.25)
+        assert speedup2 == pytest.approx(12.2, rel=0.25)
+
+    def test_speedup_grows_with_input_length(self):
+        swat = SWATSimulator(SWATConfig.longformer())
+        accel = ButterflyAccelerator()
+        ratios = [
+            accel.run(n, BTF1).seconds / (swat.estimate(n).seconds * BTF1.num_layers)
+            for n in (1024, 4096, 16384)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_energy_uses_modelled_power(self):
+        report = ButterflyAccelerator().run(4096, BTF1)
+        assert report.energy_joules == pytest.approx(ButterflyAccelerator.BOARD_POWER_W * report.seconds)
+
+    def test_invalid_seq_len_raises(self):
+        with pytest.raises(ValueError):
+            ButterflyAccelerator().run(0, BTF1)
+
+
+class TestDenseFPGABaseline:
+    def test_quadratic_scaling(self):
+        baseline = DenseFPGABaseline()
+        ratio = baseline.run(8192).seconds / baseline.run(4096).seconds
+        assert 3.0 < ratio < 5.0
+
+    def test_slower_than_swat_beyond_window(self):
+        baseline = DenseFPGABaseline()
+        swat = SWATSimulator(SWATConfig.longformer())
+        assert baseline.run(4096).seconds > swat.estimate(4096).seconds * 4
+
+    def test_matches_swat_when_window_covers_sequence(self):
+        baseline = DenseFPGABaseline()
+        swat = SWATSimulator(SWATConfig.longformer())
+        assert baseline.run(512).cycles == swat.estimate(512).cycles
+
+    def test_passes_per_row(self):
+        assert DenseFPGABaseline().run(2048).passes_per_row == 4
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            DenseFPGABaseline().run(0)
+        with pytest.raises(ValueError):
+            DenseFPGABaseline().run(16, num_heads=0)

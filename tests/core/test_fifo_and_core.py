@@ -1,0 +1,137 @@
+"""Tests for the K/V FIFO buffer and the attention-core functional model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attention_core import AttentionCore, CoreKind
+from repro.core.fifo import KVFifoBuffer
+from repro.numerics.floating import FP16, FP64
+
+
+class TestKVFifoBuffer:
+    def test_insert_and_get_roundtrip(self):
+        fifo = KVFifoBuffer(capacity=4, head_dim=3)
+        k_row, v_row = np.arange(3.0), np.arange(3.0) + 10
+        fifo.insert(1, k_row, v_row)
+        got_k, got_v = fifo.get(1)
+        np.testing.assert_array_equal(got_k, k_row)
+        np.testing.assert_array_equal(got_v, v_row)
+
+    def test_slot_is_modulo_capacity(self):
+        fifo = KVFifoBuffer(capacity=4, head_dim=2)
+        assert fifo.slot_for(0) == fifo.slot_for(4) == 0
+        assert fifo.slot_for(7) == 3
+
+    def test_eviction_replaces_colliding_key(self):
+        fifo = KVFifoBuffer(capacity=2, head_dim=2)
+        fifo.insert(0, np.zeros(2), np.zeros(2))
+        fifo.insert(2, np.ones(2), np.ones(2))
+        assert not fifo.contains(0)
+        assert fifo.contains(2)
+        assert fifo.stats.evictions == 1
+
+    def test_get_missing_key_raises(self):
+        fifo = KVFifoBuffer(capacity=2, head_dim=2)
+        with pytest.raises(KeyError):
+            fifo.get(1)
+
+    def test_unique_and_redundant_loads(self):
+        fifo = KVFifoBuffer(capacity=4, head_dim=2)
+        fifo.insert(1, np.zeros(2), np.zeros(2))
+        fifo.insert(1, np.ones(2), np.ones(2))
+        assert fifo.stats.total_loads == 2
+        assert fifo.stats.unique_loads == 1
+        assert fifo.stats.redundant_loads == 1
+
+    def test_gather_preserves_order(self):
+        fifo = KVFifoBuffer(capacity=4, head_dim=1)
+        for key in range(3):
+            fifo.insert(key, np.array([float(key)]), np.array([float(key) + 10]))
+        k_rows, v_rows = fifo.gather([2, 0, 1])
+        np.testing.assert_array_equal(k_rows.ravel(), [2.0, 0.0, 1.0])
+        np.testing.assert_array_equal(v_rows.ravel(), [12.0, 10.0, 11.0])
+
+    def test_wrong_row_shape_raises(self):
+        fifo = KVFifoBuffer(capacity=2, head_dim=4)
+        with pytest.raises(ValueError):
+            fifo.insert(0, np.zeros(3), np.zeros(4))
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            KVFifoBuffer(capacity=0, head_dim=2)
+
+    @given(window_tokens=st.sampled_from([4, 8, 16]), seq_len=st.integers(8, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sliding_window_never_evicts_needed_keys(self, window_tokens, seq_len):
+        """Keys inside the live window [i-w, i+w) are always resident."""
+        half = window_tokens // 2
+        fifo = KVFifoBuffer(capacity=window_tokens, head_dim=1)
+        loaded = set()
+        for row in range(seq_len):
+            lo, hi = max(0, row - half), min(seq_len, row + half)
+            for key in range(lo, hi):
+                if key not in loaded:
+                    fifo.insert(key, np.array([1.0]), np.array([1.0]))
+                    loaded.add(key)
+            for key in range(lo, hi):
+                assert fifo.contains(key)
+        assert fifo.stats.redundant_loads == 0
+
+
+class TestAttentionCore:
+    def test_compute_matches_reference(self):
+        rng = np.random.default_rng(0)
+        core = AttentionCore(core_id=0)
+        k_row, v_row, q_row = rng.standard_normal((3, 8))
+        core.load_kv(3, k_row, v_row)
+        output = core.compute(q_row, scale=0.125)
+        expected_score = float(np.dot(q_row, k_row) * 0.125)
+        assert output.score == pytest.approx(expected_score)
+        assert output.weight == pytest.approx(np.exp(expected_score))
+        np.testing.assert_allclose(output.z_slice, np.exp(expected_score) * v_row)
+
+    def test_compute_before_load_raises(self):
+        with pytest.raises(RuntimeError):
+            AttentionCore(core_id=1).compute(np.zeros(4), scale=1.0)
+
+    def test_fp16_core_quantises(self):
+        rng = np.random.default_rng(1)
+        k_row, v_row, q_row = rng.standard_normal((3, 16))
+        exact = AttentionCore(0, precision=FP64)
+        coarse = AttentionCore(1, precision=FP16)
+        exact.load_kv(0, k_row, v_row)
+        coarse.load_kv(0, k_row, v_row)
+        difference = np.abs(
+            exact.compute(q_row, 0.25).z_slice - coarse.compute(q_row, 0.25).z_slice
+        )
+        assert 0 < difference.max() < 0.1
+
+    def test_mac_ops_counted(self):
+        core = AttentionCore(0)
+        core.load_kv(0, np.zeros(8), np.zeros(8))
+        core.compute(np.zeros(8), 1.0)
+        core.compute(np.zeros(8), 1.0)
+        assert core.mac_ops == 2 * 2 * 8
+
+    def test_core_kinds(self):
+        assert CoreKind.WINDOW.value == "window"
+        assert {CoreKind.WINDOW, CoreKind.GLOBAL, CoreKind.RANDOM}
+
+    def test_load_validation(self):
+        core = AttentionCore(0)
+        with pytest.raises(ValueError):
+            core.load_kv(-1, np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            core.load_kv(0, np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_mismatched_query_raises(self):
+        core = AttentionCore(0)
+        core.load_kv(0, np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            core.compute(np.zeros(5), 1.0)
+
+    def test_negative_core_id_raises(self):
+        with pytest.raises(ValueError):
+            AttentionCore(-1)

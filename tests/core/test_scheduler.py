@@ -1,0 +1,121 @@
+"""Tests for the row-major dataflow scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SWATConfig
+from repro.core.scheduler import RowMajorScheduler
+
+
+def _config(window_tokens=8, num_global=0, num_random=0, head_dim=16):
+    return SWATConfig(
+        head_dim=head_dim,
+        window_tokens=window_tokens,
+        num_global_tokens=num_global,
+        num_random_tokens=num_random,
+    )
+
+
+class TestWindowKeys:
+    def test_interior_row_covers_2w_keys(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=8), seq_len=64)
+        assert scheduler.window_keys(32) == tuple(range(28, 36))
+
+    def test_window_never_exceeds_2w_keys(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=8), seq_len=64)
+        assert max(len(scheduler.window_keys(row)) for row in range(64)) == 8
+
+    def test_row_always_attends_itself(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=4), seq_len=32)
+        for row in range(32):
+            assert row in scheduler.window_keys(row)
+
+    def test_boundary_rows_clipped(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=8), seq_len=64)
+        assert scheduler.window_keys(0) == tuple(range(0, 4))
+        assert scheduler.window_keys(63) == tuple(range(59, 64))
+
+    def test_out_of_range_row_raises(self):
+        scheduler = RowMajorScheduler(_config(), seq_len=16)
+        with pytest.raises(ValueError):
+            scheduler.window_keys(16)
+
+    @given(seq_len=st.integers(4, 80), window_tokens=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_window_keys_fit_fifo_without_collision(self, seq_len, window_tokens):
+        scheduler = RowMajorScheduler(_config(window_tokens=window_tokens), seq_len=seq_len)
+        for row in range(seq_len):
+            keys = scheduler.window_keys(row)
+            slots = [key % window_tokens for key in keys]
+            assert len(slots) == len(set(slots))
+
+
+class TestPlans:
+    def test_one_new_window_key_per_row_at_steady_state(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=8), seq_len=64)
+        plans = scheduler.plans()
+        steady = plans[10:-5]
+        assert all(len(plan.new_window_keys) == 1 for plan in steady)
+
+    def test_every_key_loaded_exactly_once_window_only(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=8), seq_len=48)
+        plans = scheduler.plans()
+        loaded = [key for plan in plans for key in plan.new_window_keys]
+        assert sorted(loaded) == list(range(48))
+
+    def test_attended_keys_sorted_unique(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=8, num_global=2), seq_len=32)
+        for plan in scheduler.plans():
+            attended = plan.attended_keys
+            assert list(attended) == sorted(set(attended))
+
+    def test_global_keys_in_every_plan(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=4, num_global=3), seq_len=32)
+        for plan in scheduler.plans():
+            assert set(plan.global_keys) == {0, 1, 2}
+            assert set(plan.global_keys).issubset(plan.attended_keys)
+
+    def test_random_keys_outside_window_and_globals(self):
+        config = _config(window_tokens=8, num_global=2, num_random=3)
+        scheduler = RowMajorScheduler(config, seq_len=64)
+        for plan in scheduler.plans():
+            for key in plan.random_keys:
+                assert key not in plan.window_keys
+                assert key not in plan.global_keys
+
+    def test_random_table_deterministic_per_seed(self):
+        config = _config(window_tokens=8, num_random=2)
+        first = RowMajorScheduler(config, seq_len=32).random_keys(10)
+        second = RowMajorScheduler(config, seq_len=32).random_keys(10)
+        assert first == second
+
+    def test_random_count_respected(self):
+        config = _config(window_tokens=8, num_random=3)
+        scheduler = RowMajorScheduler(config, seq_len=64)
+        assert all(len(scheduler.random_keys(row)) == 3 for row in range(64))
+
+    def test_invalid_seq_len_raises(self):
+        with pytest.raises(ValueError):
+            RowMajorScheduler(_config(), seq_len=0)
+
+
+class TestTraffic:
+    def test_window_only_traffic_is_exactly_once(self):
+        config = _config(window_tokens=8, head_dim=16)
+        scheduler = RowMajorScheduler(config, seq_len=128)
+        traffic = scheduler.traffic_bytes()
+        assert traffic["k"] == 128 * 16 * config.element_bytes
+        assert traffic["redundant_kv"] == 0
+
+    def test_random_attention_adds_redundant_traffic(self):
+        config = _config(window_tokens=8, num_random=2, head_dim=16)
+        traffic = RowMajorScheduler(config, seq_len=64).traffic_bytes()
+        assert traffic["redundant_kv"] > 0
+        assert traffic["k"] > 64 * 16 * config.element_bytes
+
+    def test_q_and_output_traffic(self):
+        config = _config(window_tokens=8, head_dim=16)
+        traffic = RowMajorScheduler(config, seq_len=32).traffic_bytes()
+        assert traffic["q"] == traffic["output"] == 32 * config.kv_row_bytes

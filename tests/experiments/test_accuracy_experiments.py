@@ -1,0 +1,68 @@
+"""Smoke tests for the accuracy experiments (Tables 3 and 4).
+
+The full experiments train five models on four tasks and take minutes; the
+tests here exercise the same code path end to end with the ``quick`` settings
+so that regressions in the experiment plumbing are caught without paying the
+full training budget.  The full-budget results are recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import table3_lra_accuracy, table4_vision_accuracy
+from repro.nn.data import make_pathfinder_task, make_text_task
+
+
+class TestTable3Plumbing:
+    @pytest.fixture(scope="class")
+    def quick_result(self):
+        settings = table3_lra_accuracy.ExperimentSettings.quick()
+        tasks = {
+            "pathfinder": make_pathfinder_task(
+                num_train=settings.num_train, num_test=settings.num_test, seq_len=24, seed=1
+            ),
+            "text": make_text_task(
+                num_train=settings.num_train, num_test=settings.num_test, seq_len=24, seed=2
+            ),
+        }
+        return table3_lra_accuracy.run(
+            settings=settings, tasks=tasks, model_names=("Longformer", "BTF-1")
+        )
+
+    def test_gains_computed_for_each_requested_model(self, quick_result):
+        assert set(quick_result.gains) == {"Longformer", "BTF-1"}
+
+    def test_full_fft_baseline_always_included(self, quick_result):
+        assert "Full-FFT" in quick_result.accuracies
+
+    def test_accuracies_are_probabilities(self, quick_result):
+        for per_task in quick_result.accuracies.values():
+            assert all(0.0 <= value <= 1.0 for value in per_task.values())
+
+    def test_table_has_average_column(self, quick_result):
+        assert quick_result.table.columns[-1] == "AVG"
+        assert len(quick_result.table.rows) == 2
+
+    def test_paper_reference_gains_all_positive(self):
+        for gains in table3_lra_accuracy.PAPER_GAINS.values():
+            assert all(value > 0 for value in gains.values())
+
+    def test_model_rows_cover_paper_rows(self):
+        assert set(table3_lra_accuracy.PAPER_GAINS).issubset(set(table3_lra_accuracy.MODEL_ROWS))
+
+
+class TestTable4Plumbing:
+    def test_quick_run_produces_both_families_at_both_scales(self):
+        result = table4_vision_accuracy.run(num_train=48, num_test=24, epochs=1, grid=6)
+        assert len(result.measured) == 4
+        assert any("ViL-like" in name for name in result.measured)
+        assert any("Pixelfly-like" in name for name in result.measured)
+
+    def test_reference_table_matches_paper_rows(self):
+        result = table4_vision_accuracy.run(num_train=32, num_test=16, epochs=1, grid=6)
+        assert len(result.reference_table.rows) == len(table4_vision_accuracy.PAPER_TABLE4)
+
+    def test_paper_reference_vil_beats_pixelfly_at_similar_size(self):
+        reference = dict((name, (params, top1)) for name, params, top1 in table4_vision_accuracy.PAPER_TABLE4)
+        assert reference["ViL-Tiny"][1] > reference["Pixelfly-M-S"][1]
+        assert reference["ViL-Small"][1] > reference["Pixelfly-V-B"][1]

@@ -1,0 +1,167 @@
+"""Tests for the experiment drivers that regenerate the paper's tables/figures."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_flops,
+    fig3_latency_memory,
+    fig8_speedup,
+    fig9_energy,
+    headline,
+    table1_pipeline,
+    table2_resources,
+)
+from repro.experiments.table1_pipeline import PAPER_STAGE_CYCLES
+from repro.experiments.table2_resources import PAPER_UTILISATION
+
+
+class TestFigure1:
+    def test_attention_flops_share_grows_monotonically(self):
+        table = fig1_flops.run()["flops"]
+        shares = table.column("attention")
+        assert all(later >= earlier for earlier, later in zip(shares, shares[1:]))
+
+    def test_attention_dominates_at_16k(self):
+        tables = fig1_flops.run()
+        assert tables["flops"].column("attention")[-1] > 0.5
+        assert tables["mops"].column("attention")[-1] > 0.8
+
+    def test_ratios_rows_sum_to_one(self):
+        table = fig1_flops.run()["flops"]
+        for row in table.rows:
+            assert sum(row[1:]) == pytest.approx(1.0)
+
+    def test_custom_lengths(self):
+        tables = fig1_flops.run(input_lengths=(256, 512))
+        assert tables["flops"].column("input_length") == [256, 512]
+
+
+class TestTable1:
+    def test_reproduces_paper_exactly_for_fp16(self):
+        table = table1_pipeline.run()
+        row = table.rows[0]
+        stage_values = dict(zip(table.columns[1:-1], row[1:-1]))
+        assert stage_values == PAPER_STAGE_CYCLES
+
+    def test_initiation_intervals(self):
+        table = table1_pipeline.run()
+        by_name = {row[0]: row[-1] for row in table.rows}
+        assert by_name["FP16 window (paper)"] == 201
+        assert by_name["FP32 window"] == 264
+
+
+class TestTable2:
+    def test_swat_rows_within_five_points_of_paper(self):
+        table = table2_resources.run()
+        for row in table.rows:
+            design = row[0]
+            if design not in PAPER_UTILISATION or design.startswith("Butterfly"):
+                continue
+            measured = dict(zip(table.columns[1:5], row[1:5]))
+            for resource, paper_value in PAPER_UTILISATION[design].items():
+                assert abs(measured[resource] - paper_value) <= 5.0
+
+    def test_all_designs_fit(self):
+        table = table2_resources.run()
+        assert all(row[-1] for row in table.rows)
+
+    def test_butterfly_reference_row_present(self):
+        designs = table2_resources.run().column("design")
+        assert any("Butterfly" in str(design) for design in designs)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_latency_memory.run()
+
+    def test_swat_latency_linear(self, result):
+        swat = result.latency_ms["SWAT (FPGA|FP16)"]
+        ratio = swat[-1] / swat[-2]
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_dense_memory_quadratic_and_chunks_linear(self, result):
+        dense = result.memory_mb["Dense (GPU|FP32)"]
+        chunks = result.memory_mb["Sliding Chunks (GPU|FP32)"]
+        assert dense[-1] / dense[-2] > 3.5
+        assert chunks[-1] / chunks[-2] == pytest.approx(2.0, rel=0.1)
+
+    def test_dense_memory_about_1gb_at_16k(self, result):
+        assert 900 < result.memory_mb["Dense (GPU|FP32)"][-1] < 1300
+
+    def test_swat_beats_gpu_at_16k(self, result):
+        assert result.latency_ms["SWAT (FPGA|FP32)"][-1] < result.latency_ms["Dense (GPU|FP32)"][-1]
+
+    def test_gpu_competitive_at_mid_lengths(self, result):
+        """Between 4k and 8k the GPU and SWAT FP32 are comparable (paper text)."""
+        index = list(result.input_lengths).index(4096)
+        gpu = result.latency_ms["Dense (GPU|FP32)"][index]
+        swat = result.latency_ms["SWAT (FPGA|FP32)"][index]
+        assert 0.2 < gpu / swat < 2.0
+
+    def test_chunks_time_not_dramatically_better_than_dense(self, result):
+        index = list(result.input_lengths).index(8192)
+        dense = result.latency_ms["Dense (GPU|FP32)"][index]
+        chunks = result.latency_ms["Sliding Chunks (GPU|FP32)"][index]
+        assert chunks > dense / 3
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_speedup.run()
+
+    def test_anchor_speedups_at_4096(self, result):
+        index = list(result.input_lengths).index(4096)
+        assert result.speedup_vs_btf1[index] == pytest.approx(6.7, rel=0.25)
+        assert result.speedup_vs_btf2[index] == pytest.approx(12.2, rel=0.25)
+
+    def test_speedup_grows_with_length(self, result):
+        assert result.speedup_vs_btf1 == sorted(result.speedup_vs_btf1)
+        assert result.speedup_vs_btf2 == sorted(result.speedup_vs_btf2)
+
+    def test_btf2_speedup_exceeds_btf1(self, result):
+        assert all(b2 > b1 for b1, b2 in zip(result.speedup_vs_btf1, result.speedup_vs_btf2))
+
+    def test_abstract_claim_22x_at_16384(self, result):
+        assert result.speedup_vs_btf1[-1] > 15.0
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_energy.run()
+
+    def test_butterfly_anchors_at_16384(self, result):
+        assert result.series["SWAT FP16 vs. BTF-1"][-1] == pytest.approx(11.4, rel=0.3)
+        assert result.series["SWAT FP16 vs. BTF-2"][-1] == pytest.approx(21.9, rel=0.3)
+
+    def test_gpu_anchor_fp32_at_16384(self, result):
+        assert result.series["SWAT FP32 vs. GPU dense"][-1] == pytest.approx(8.4, rel=0.35)
+
+    def test_gpu_anchor_fp16_at_16384(self, result):
+        assert result.series["SWAT FP16 vs. GPU dense"][-1] == pytest.approx(15.0, rel=0.35)
+
+    def test_gpu_efficiency_has_interior_minimum(self, result):
+        """The FP32-vs-GPU curve is high at 1k, dips, then rises to 16k."""
+        series = result.series["SWAT FP32 vs. GPU dense"]
+        minimum = min(series)
+        assert series[0] > minimum and series[-1] > minimum
+
+    def test_all_fp16_advantages_above_one_beyond_2048(self, result):
+        for key, series in result.series.items():
+            if "FP16" in key:
+                assert all(value > 1.0 for value in series[2:]), key
+
+
+class TestHeadline:
+    def test_measured_claims_close_to_paper(self):
+        table, measured = headline.run()
+        assert measured["speedup vs BTF-1 @4096"] == pytest.approx(6.7, rel=0.25)
+        assert measured["energy efficiency vs GPU @16384 (FP32)"] == pytest.approx(8.4, rel=0.35)
+        assert len(table.rows) == len(headline.PAPER_CLAIMS)
+
+    def test_every_headline_claim_direction_holds(self):
+        _, measured = headline.run()
+        assert all(value > 1.0 for value in measured.values())

@@ -1,0 +1,141 @@
+"""Tests for the FPGA device, BRAM, HLS-timing and HBM models."""
+
+import pytest
+
+from repro.fpga.bram import BRAM_36K_BITS, bram_blocks_for_buffer, kv_buffer_blocks
+from repro.fpga.device import ALVEO_U55C, VCU128, FPGADevice, device_from_name
+from repro.fpga.hls import operator_latency, pipelined_loop_cycles
+from repro.fpga.memory import HBMModel, MemoryTrafficSummary
+from repro.numerics.floating import FP16, FP32, FP64
+
+
+class TestDevice:
+    def test_u55c_and_vcu128_have_equal_logic(self):
+        assert ALVEO_U55C.dsp_slices == VCU128.dsp_slices
+        assert ALVEO_U55C.luts == VCU128.luts
+        assert ALVEO_U55C.bram_blocks == VCU128.bram_blocks
+
+    def test_lookup_by_name(self):
+        assert device_from_name("u55c") is ALVEO_U55C
+        assert device_from_name("VCU128") is VCU128
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(ValueError):
+            device_from_name("ultrascale99")
+
+    def test_utilisation_fractions(self):
+        usage = ALVEO_U55C.utilisation(dsp=ALVEO_U55C.dsp_slices // 2)
+        assert usage["DSP"] == pytest.approx(0.5)
+
+    def test_fits_detects_overflow(self):
+        assert ALVEO_U55C.fits(dsp=100, lut=1000)
+        assert not ALVEO_U55C.fits(dsp=ALVEO_U55C.dsp_slices + 1)
+
+    def test_clock_hz(self):
+        assert ALVEO_U55C.clock_hz == pytest.approx(ALVEO_U55C.default_clock_mhz * 1e6)
+
+    def test_invalid_resources_raise(self):
+        with pytest.raises(ValueError):
+            FPGADevice(
+                name="bad", dsp_slices=0, luts=1, flip_flops=1, bram_blocks=1,
+                uram_blocks=1, hbm_bandwidth_gbps=1, hbm_capacity_gb=1,
+                default_clock_mhz=1, static_power_w=1,
+            )
+
+
+class TestBram:
+    def test_small_buffer_fits_one_block(self):
+        requirement = bram_blocks_for_buffer(depth=128, element_bits=16)
+        assert requirement.blocks == 1
+
+    def test_capacity_bound(self):
+        depth = 2 * BRAM_36K_BITS // 16
+        assert bram_blocks_for_buffer(depth=depth, element_bits=16).blocks == 2
+
+    def test_width_bound(self):
+        requirement = bram_blocks_for_buffer(depth=4, element_bits=16, elements_per_word=10)
+        assert requirement.blocks >= 3
+
+    def test_kv_buffer_single_block_fp16(self):
+        assert kv_buffer_blocks(64, FP16) == 1
+
+    def test_kv_buffer_single_block_fp32(self):
+        assert kv_buffer_blocks(64, FP32) == 1
+
+    def test_kv_buffer_grows_for_huge_head_dim(self):
+        assert kv_buffer_blocks(4096, FP32) > 1
+
+    def test_invalid_buffer_raises(self):
+        with pytest.raises(ValueError):
+            bram_blocks_for_buffer(depth=0, element_bits=16)
+
+
+class TestHLS:
+    def test_fp16_mac_constraints_from_paper(self):
+        mac = operator_latency("mac", FP16)
+        assert mac.initiation_interval == 3
+
+    def test_fp32_mac_slower_ii(self):
+        assert operator_latency("mac", FP32).initiation_interval == 4
+
+    def test_divider_relaxed_ii(self):
+        assert operator_latency("div", FP16).initiation_interval == 2
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            operator_latency("sqrt", FP16)
+
+    def test_unsupported_precision_raises(self):
+        with pytest.raises(ValueError):
+            operator_latency("mac", FP64)
+
+    def test_pipelined_loop_formula(self):
+        assert pipelined_loop_cycles(64, 3, 9) == 201
+
+    def test_zero_trip_count(self):
+        assert pipelined_loop_cycles(0, 3, 9) == 0
+
+    def test_invalid_loop_arguments_raise(self):
+        with pytest.raises(ValueError):
+            pipelined_loop_cycles(-1, 3, 9)
+        with pytest.raises(ValueError):
+            pipelined_loop_cycles(4, 0, 9)
+
+
+class TestHBM:
+    def test_transfer_time_scales_with_bytes(self):
+        hbm = HBMModel()
+        assert hbm.transfer_seconds(2_000_000) == pytest.approx(2 * hbm.transfer_seconds(1_000_000))
+
+    def test_transfer_cycles_positive(self):
+        assert HBMModel().transfer_cycles(1024) >= 1
+
+    def test_zero_bytes(self):
+        assert HBMModel().transfer_cycles(0) == 0
+
+    def test_invalid_efficiency_raises(self):
+        with pytest.raises(ValueError):
+            HBMModel(efficiency=0.0)
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ValueError):
+            HBMModel().transfer_seconds(-1)
+
+    def test_traffic_summary_totals(self):
+        summary = MemoryTrafficSummary(
+            q_bytes_loaded=10, k_bytes_loaded=20, v_bytes_loaded=20,
+            output_bytes_stored=10, redundant_kv_bytes=0,
+        )
+        assert summary.total_bytes == 60
+        assert summary.transfer_efficiency == 1.0
+
+    def test_traffic_summary_redundancy(self):
+        summary = MemoryTrafficSummary(
+            q_bytes_loaded=0, k_bytes_loaded=100, v_bytes_loaded=100,
+            output_bytes_stored=0, redundant_kv_bytes=50,
+        )
+        assert summary.transfer_efficiency == pytest.approx(0.75)
+
+    def test_traffic_summary_no_kv(self):
+        summary = MemoryTrafficSummary(1, 0, 0, 1)
+        assert summary.transfer_efficiency == 1.0

@@ -1,0 +1,190 @@
+"""Tests for the classifier models, optimisers, synthetic tasks and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import (
+    lra_suite,
+    make_image_task,
+    make_listops_task,
+    make_pathfinder_task,
+    make_text_task,
+)
+from repro.nn.layers import Parameter
+from repro.nn.model import TransformerClassifier, build_classifier
+from repro.nn.optim import SGD, Adam
+from repro.nn.trainer import Trainer
+
+
+class TestModels:
+    def _tiny_task(self):
+        return make_text_task(num_train=16, num_test=8, seq_len=16, seed=0)
+
+    @pytest.mark.parametrize("attention", ["dense", "window", "bigbird", "fft", "hybrid"])
+    def test_forward_shapes(self, attention):
+        task = self._tiny_task()
+        model = build_classifier(attention, task, dim=16, num_layers=2, num_heads=2, window=3)
+        logits = model(task.train_tokens[:4])
+        assert logits.shape == (4, task.num_classes)
+
+    def test_single_sequence_input(self):
+        task = self._tiny_task()
+        model = build_classifier("window", task, dim=16, num_layers=1, num_heads=2, window=3)
+        assert model(task.train_tokens[0]).shape == (1, task.num_classes)
+
+    def test_fft_model_has_fewer_parameters_than_window(self):
+        task = self._tiny_task()
+        window = build_classifier("window", task, dim=16, num_layers=2, num_heads=2)
+        fft = build_classifier("fft", task, dim=16, num_layers=2, num_heads=2)
+        assert fft.num_parameters() < window.num_parameters()
+
+    def test_hybrid_mixes_layer_types(self):
+        from repro.nn.attention_layers import FourierMixingAttention, SelfAttention
+
+        task = self._tiny_task()
+        model = build_classifier("hybrid", task, dim=16, num_layers=3, num_heads=2, num_softmax_layers=1)
+        mixers = [layer.mixer for layer in model.layers]
+        assert isinstance(mixers[0], FourierMixingAttention)
+        assert isinstance(mixers[-1], SelfAttention)
+
+    def test_wrong_sequence_length_raises(self):
+        task = self._tiny_task()
+        model = build_classifier("window", task, dim=16, num_layers=1, num_heads=2)
+        with pytest.raises(ValueError):
+            model(np.zeros((2, task.seq_len + 1), dtype=int))
+
+    def test_unknown_attention_raises(self):
+        task = self._tiny_task()
+        with pytest.raises(ValueError):
+            build_classifier("mystery", task, dim=16)
+
+    def test_invalid_num_classes_raises(self):
+        with pytest.raises(ValueError):
+            TransformerClassifier(vocab_size=10, seq_len=8, num_classes=1)
+
+
+class TestOptimisers:
+    def _quadratic(self, optimiser_factory, steps=200):
+        target = np.array([3.0, -2.0])
+        parameter = Parameter(np.zeros(2))
+        optimiser = optimiser_factory([parameter])
+        from repro.nn.tensor import Tensor
+
+        for _ in range(steps):
+            optimiser.zero_grad()
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimiser.step()
+        return parameter.data, target
+
+    def test_adam_converges_on_quadratic(self):
+        value, target = self._quadratic(lambda params: Adam(params, lr=0.05))
+        np.testing.assert_allclose(value, target, atol=0.05)
+
+    def test_sgd_converges_on_quadratic(self):
+        value, target = self._quadratic(lambda params: SGD(params, lr=0.05, momentum=0.5))
+        np.testing.assert_allclose(value, target, atol=0.05)
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        Adam([parameter], lr=0.1).step()
+        np.testing.assert_array_equal(parameter.data, np.ones(2))
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.ones(2) * 10)
+        optimiser = Adam([parameter], lr=0.1, weight_decay=1.0)
+        parameter.grad = np.zeros(2)
+        optimiser.step()
+        assert np.abs(parameter.data).max() < 10
+
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, momentum=1.0)
+
+
+class TestSyntheticTasks:
+    def test_suite_contains_four_tasks(self):
+        suite = lra_suite(num_train=8, num_test=4)
+        assert set(suite) == {"image", "pathfinder", "text", "listops"}
+
+    def test_shapes_and_vocab_bounds(self):
+        for task in lra_suite(num_train=12, num_test=6).values():
+            assert task.train_tokens.shape == (12, task.seq_len)
+            assert task.test_tokens.shape == (6, task.seq_len)
+            assert task.train_tokens.min() >= 0
+            assert task.train_tokens.max() < task.vocab_size
+            assert task.train_labels.max() < task.num_classes
+
+    def test_determinism(self):
+        a = make_text_task(num_train=10, num_test=5, seed=3)
+        b = make_text_task(num_train=10, num_test=5, seed=3)
+        np.testing.assert_array_equal(a.train_tokens, b.train_tokens)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_pathfinder_connected_label_consistent(self):
+        task = make_pathfinder_task(num_train=40, num_test=10, seq_len=32, seed=1)
+        tokens = np.concatenate([task.train_tokens, task.test_tokens])
+        labels = np.concatenate([task.train_labels, task.test_labels])
+        for sequence, label in zip(tokens, labels):
+            endpoints = np.where(sequence == 2)[0]
+            assert len(endpoints) == 2
+            interior = sequence[endpoints[0] + 1:endpoints[1]]
+            assert int((interior == 1).all()) == label
+
+    def test_listops_label_is_max_of_group_minimums(self):
+        task = make_listops_task(num_train=20, num_test=5, num_groups=3, group_size=6, seed=2)
+        sequence = task.train_tokens[0]
+        groups = sequence.reshape(3, 6)
+        values = [group[1:-1].min() for group in groups]
+        assert task.train_labels[0] == max(values)
+
+    def test_image_task_two_classes_balancedish(self):
+        task = make_image_task(num_train=200, num_test=50, seed=0)
+        counts = np.bincount(task.train_labels)
+        assert len(counts) == 2 and counts.min() > 50
+
+    def test_mismatched_metadata_raises(self):
+        task = make_text_task(num_train=4, num_test=2, seq_len=8)
+        with pytest.raises(ValueError):
+            type(task)(
+                name="bad",
+                seq_len=9,
+                vocab_size=task.vocab_size,
+                num_classes=task.num_classes,
+                train_tokens=task.train_tokens,
+                train_labels=task.train_labels,
+                test_tokens=task.test_tokens,
+                test_labels=task.test_labels,
+            )
+
+
+class TestTrainer:
+    def test_training_reduces_loss_and_beats_chance(self):
+        task = make_text_task(num_train=96, num_test=48, seq_len=16, seed=0)
+        model = build_classifier("window", task, dim=16, num_layers=1, num_heads=2, window=3)
+        trainer = Trainer(model, lr=5e-3, batch_size=16, epochs=6, seed=0)
+        result = trainer.fit(task, "window")
+        assert result.losses[-1] < result.losses[0]
+        assert result.train_accuracy > 0.55
+
+    def test_evaluate_returns_fraction(self):
+        task = make_text_task(num_train=16, num_test=8, seq_len=12, seed=1)
+        model = build_classifier("fft", task, dim=16, num_layers=1, num_heads=2)
+        trainer = Trainer(model, epochs=1, batch_size=8)
+        accuracy = trainer.evaluate(task.test_tokens, task.test_labels)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_result_records_metadata(self):
+        task = make_text_task(num_train=16, num_test=8, seq_len=12, seed=2)
+        model = build_classifier("dense", task, dim=16, num_layers=1, num_heads=2)
+        result = Trainer(model, epochs=1, batch_size=8).fit(task, "dense")
+        assert result.task_name == "text" and result.attention == "dense"
+        assert result.num_parameters == model.num_parameters()
+
+    def test_invalid_trainer_arguments_raise(self):
+        task = make_text_task(num_train=8, num_test=4, seq_len=8)
+        model = build_classifier("fft", task, dim=8, num_layers=1, num_heads=1)
+        with pytest.raises(ValueError):
+            Trainer(model, epochs=0)

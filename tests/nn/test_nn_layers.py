@@ -1,0 +1,187 @@
+"""Tests for the neural-network functional ops, layers and attention modules."""
+
+import numpy as np
+import pytest
+
+from repro.attention.masks import window_mask
+from repro.nn.attention_layers import FourierMixingAttention, SelfAttention, attention_mask_for
+from repro.nn.functional import accuracy, gelu, log_softmax, masked_softmax, softmax, softmax_cross_entropy
+from repro.nn.layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, Module, Parameter, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(Tensor(np.random.default_rng(0).standard_normal((3, 5))))
+        np.testing.assert_allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_masked_softmax_zeroes_masked_positions(self):
+        scores = Tensor(np.zeros((2, 4)))
+        mask = np.array([[True, True, False, False], [True, False, True, False]])
+        probs = masked_softmax(scores, mask)
+        assert probs.data[0, 2] < 1e-6 and probs.data[1, 3] < 1e-6
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 6)))
+        np.testing.assert_allclose(log_softmax(x).data, np.log(softmax(x).data), atol=1e-9)
+
+    def test_cross_entropy_value(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1]])))
+        loss = softmax_cross_entropy(logits, np.array([0]))
+        assert float(loss.data) == pytest.approx(-np.log(0.7), rel=1e-6)
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.random.default_rng(2).standard_normal((3, 4)), requires_grad=True)
+        labels = np.array([1, 3, 0])
+        softmax_cross_entropy(logits, labels).backward()
+        probs = softmax(Tensor(logits.data)).data
+        onehot = np.eye(4)[labels]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3, atol=1e-9)
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(3, dtype=int))
+
+    def test_gelu_shape_and_monotone_region(self):
+        x = Tensor(np.linspace(-1, 3, 20))
+        y = gelu(x).data
+        assert y.shape == (20,)
+        assert (np.diff(y[10:]) > 0).all()
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 1.0], [3.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(8, 3)
+        out = layer(Tensor(np.random.default_rng(0).standard_normal((5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_gradients_flow_to_weight(self):
+        layer = Linear(4, 2)
+        out = layer(Tensor(np.ones((3, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_embedding_lookup(self):
+        table = Embedding(10, 6)
+        out = table(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+        np.testing.assert_allclose(out.data[0, 0], table.weight.data[1])
+
+    def test_layernorm_normalises(self):
+        layer = LayerNorm(16)
+        out = layer(Tensor(np.random.default_rng(1).standard_normal((4, 16)) * 5 + 3))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_dropout_train_zeroes_some(self):
+        layer = Dropout(0.5, seed=0)
+        layer.train()
+        out = layer(Tensor(np.ones((20, 20))))
+        assert (out.data == 0).any()
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_feedforward_shape(self):
+        ffn = FeedForward(8, 16)
+        assert ffn(Tensor(np.zeros((2, 5, 8)))).shape == (2, 5, 8)
+
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+        assert model(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+
+    def test_module_parameter_collection_unique(self):
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(4, 4, seed=0)
+                self.b = self.a
+
+        assert len(Shared().parameters()) == 2  # weight and bias counted once
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        ffn = FeedForward(4, 8, dropout_rate=0.2)
+        ffn.eval()
+        assert not ffn.dropout.training
+        ffn.train()
+        assert ffn.dropout.training
+
+
+class TestAttentionModules:
+    def test_attention_mask_for_kinds(self):
+        assert attention_mask_for("dense", 8).all()
+        np.testing.assert_array_equal(
+            attention_mask_for("window", 16, window=2, num_global=0), window_mask(16, 2)
+        )
+        assert attention_mask_for("bigbird", 16, window=2).any()
+        with pytest.raises(ValueError):
+            attention_mask_for("butterfly", 8)
+
+    def test_self_attention_output_shape(self):
+        layer = SelfAttention(dim=16, num_heads=2)
+        out = layer(Tensor(np.random.default_rng(0).standard_normal((2, 10, 16))))
+        assert out.shape == (2, 10, 16)
+
+    def test_self_attention_respects_mask(self):
+        """With an identity mask each token attends only itself."""
+        seq_len, dim = 6, 8
+        layer = SelfAttention(dim=dim, num_heads=1, mask=np.eye(seq_len, dtype=bool))
+        x = Tensor(np.random.default_rng(1).standard_normal((1, seq_len, dim)))
+        reference = layer(x).data.copy()
+        # Perturbing token 0 must not change any other token's output.
+        perturbed = x.data.copy()
+        perturbed[0, 0] += 10.0
+        changed = layer(Tensor(perturbed)).data
+        np.testing.assert_allclose(changed[0, 1:], reference[0, 1:], atol=1e-9)
+
+    def test_self_attention_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SelfAttention(dim=10, num_heads=3)
+
+    def test_self_attention_mask_shape_mismatch(self):
+        layer = SelfAttention(dim=8, num_heads=1, mask=np.eye(4, dtype=bool))
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((1, 6, 8))))
+
+    def test_fourier_mixing_shape_and_linearity(self):
+        layer = FourierMixingAttention(dim=8, seq_len=12)
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((2, 12, 8))
+        b = rng.standard_normal((2, 12, 8))
+        combined = layer(Tensor(a + b)).data
+        np.testing.assert_allclose(combined, layer(Tensor(a)).data + layer(Tensor(b)).data, atol=1e-9)
+
+    def test_fourier_mixing_has_no_parameters(self):
+        assert FourierMixingAttention(dim=8, seq_len=12).num_parameters() == 0
+
+    def test_fourier_mixing_wrong_length_raises(self):
+        layer = FourierMixingAttention(dim=8, seq_len=12)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((1, 10, 8))))
+
+
+class TestParameter:
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad

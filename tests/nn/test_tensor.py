@@ -1,0 +1,147 @@
+"""Tests for the minimal autograd tensor, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(function, value, eps=1e-6):
+    """Central-difference gradient of a scalar-valued function of one array."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat = value.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = function(value)
+        flat[index] = original - eps
+        minus = function(value)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-6):
+    """Compare autograd and numerical gradients of ``build_loss``."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape)
+    tensor = Tensor(data.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    numeric = numerical_gradient(lambda value: float(build_loss(Tensor(value)).data), data.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol)
+
+
+class TestGradients:
+    def test_add_mul(self):
+        check_gradient(lambda x: ((x * 3.0 + 1.0) * x).sum(), (4, 3))
+
+    def test_matmul(self):
+        rng = np.random.default_rng(1)
+        other = rng.standard_normal((3, 5))
+        check_gradient(lambda x: (x @ Tensor(other)).sum(), (4, 3))
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(2)
+        other = rng.standard_normal((2, 4, 3))
+        check_gradient(lambda x: (x @ Tensor(other)).sum(), (2, 3, 4))
+
+    def test_broadcast_add(self):
+        bias = np.array([1.0, 2.0, 3.0])
+        check_gradient(lambda x: ((x + Tensor(bias)) ** 2).sum(), (5, 3))
+
+    def test_division(self):
+        check_gradient(lambda x: (1.0 / (x * x + 2.0)).sum(), (3, 3))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: ((x * 0.3).exp() + (x * x + 1.0).log()).sum(), (4,))
+
+    def test_tanh_relu(self):
+        check_gradient(lambda x: (x.tanh() + (x + 0.1).relu()).sum(), (6,), seed=3)
+
+    def test_power(self):
+        check_gradient(lambda x: ((x * x + 1.0) ** 1.5).sum(), (4,))
+
+    def test_sum_axis_and_mean(self):
+        check_gradient(lambda x: (x.sum(axis=0) * x.mean(axis=0)).sum(), (5, 3))
+
+    def test_max_reduction(self):
+        # Use distinct values so the argmax is unique and the gradient exact.
+        data = np.arange(12.0).reshape(3, 4)
+        tensor = Tensor(data, requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        expected = np.zeros((3, 4))
+        expected[:, 3] = 1.0
+        np.testing.assert_allclose(tensor.grad, expected)
+
+    def test_reshape_transpose(self):
+        check_gradient(lambda x: (x.reshape(6, 2).transpose(1, 0) ** 2).sum(), (3, 4))
+
+    def test_getitem_fancy_index(self):
+        index = np.array([0, 2, 2])
+        check_gradient(lambda x: (x[index] ** 2).sum(), (4, 3))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(4)
+        other = rng.standard_normal((2, 3))
+        check_gradient(
+            lambda x: (Tensor.concatenate([x, Tensor(other)], axis=0) ** 2).sum(), (3, 3)
+        )
+
+
+class TestMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x.sum() + x.sum()).backward()
+        np.testing.assert_allclose(x.grad, 2 * np.ones(3))
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x.detach() * 2.0).sum()
+        assert x.grad is None
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).sum().backward()
+
+    def test_requires_grad_propagates(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = Tensor(np.ones(2))
+        assert (x + y).requires_grad
+        assert not (y + y).requires_grad
+
+    def test_shape_and_ndim(self):
+        x = Tensor(np.zeros((2, 5)))
+        assert x.shape == (2, 5) and x.ndim == 2
+
+    def test_scalar_exponent_only(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** Tensor(np.ones(2))
+
+    def test_rsub_and_rdiv(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (3.0 - x) + (4.0 / x)
+        loss.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [-1.0 - 1.0])
+
+    def test_deep_graph_backward_does_not_recurse(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [1.0])

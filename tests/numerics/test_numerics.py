@@ -1,0 +1,96 @@
+"""Tests for precision descriptors, quantisation and error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.error import ErrorReport, compare, max_abs_error, max_relative_error, mean_abs_error
+from repro.numerics.floating import FP16, FP32, FP64, Precision, precision_from_name, quantize
+
+
+class TestPrecision:
+    def test_fp16_fields(self):
+        assert FP16.bits == 16 and FP16.bytes == 2
+        assert FP16.mantissa_bits == 10 and FP16.exponent_bits == 5
+
+    def test_fp32_fields(self):
+        assert FP32.bits == 32 and FP32.bytes == 4
+
+    def test_machine_epsilon_ordering(self):
+        assert FP16.machine_epsilon > FP32.machine_epsilon > FP64.machine_epsilon
+
+    def test_machine_epsilon_value(self):
+        assert FP16.machine_epsilon == pytest.approx(2.0 ** -10)
+
+    def test_lookup_by_name(self):
+        assert precision_from_name("FP16") is FP16
+        assert precision_from_name(" fp32 ") is FP32
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            precision_from_name("bf16")
+
+    def test_inconsistent_bit_split_raises(self):
+        with pytest.raises(ValueError):
+            Precision(name="bad", bits=16, mantissa_bits=12, exponent_bits=5, dtype=np.dtype(np.float16))
+
+
+class TestQuantize:
+    def test_fp64_quantisation_is_identity(self):
+        values = np.random.default_rng(0).standard_normal(100)
+        np.testing.assert_array_equal(quantize(values, FP64), values)
+
+    def test_fp16_quantisation_introduces_bounded_error(self):
+        values = np.random.default_rng(1).standard_normal(1000)
+        error = np.abs(quantize(values, FP16) - values)
+        assert error.max() <= FP16.machine_epsilon * np.abs(values).max()
+        assert error.max() > 0
+
+    def test_fp16_coarser_than_fp32(self):
+        values = np.random.default_rng(2).standard_normal(1000)
+        fp16_error = np.abs(quantize(values, FP16) - values).max()
+        fp32_error = np.abs(quantize(values, FP32) - values).max()
+        assert fp16_error > fp32_error
+
+    def test_result_dtype_is_float64(self):
+        assert quantize(np.float32([1.5]), FP16).dtype == np.float64
+
+    @given(st.floats(-1000, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_quantisation_idempotent(self, value):
+        once = quantize(np.array([value]), FP16)
+        twice = quantize(once, FP16)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestErrorMetrics:
+    def test_identical_arrays_have_zero_error(self):
+        values = np.arange(10.0)
+        assert max_abs_error(values, values) == 0
+        assert mean_abs_error(values, values) == 0
+        assert max_relative_error(values, values) == 0
+
+    def test_max_abs_error_value(self):
+        assert max_abs_error(np.array([1.0, 2.5]), np.array([1.0, 2.0])) == pytest.approx(0.5)
+
+    def test_mean_abs_error_value(self):
+        assert mean_abs_error(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_relative_error_uses_floor(self):
+        value = max_relative_error(np.array([1.0e-15]), np.array([0.0]), floor=1.0e-12)
+        assert np.isfinite(value)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_compare_builds_report(self):
+        report = compare(np.array([1.1, 2.0]), np.array([1.0, 2.0]))
+        assert isinstance(report, ErrorReport)
+        assert report.max_abs == pytest.approx(0.1)
+
+    def test_within_tolerance(self):
+        report = ErrorReport(max_abs=1e-3, mean_abs=1e-4, max_rel=1e-2)
+        assert report.within(abs_tol=1e-2, rel_tol=1e-3)
+        assert not report.within(abs_tol=1e-5, rel_tol=1e-5)

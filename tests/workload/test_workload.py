@@ -1,0 +1,114 @@
+"""Tests for the Transformer workload specs and FLOPs/MOPs accounting."""
+
+import numpy as np
+import pytest
+
+from repro.workload.flops import layer_op_counts, op_breakdown_by_length
+from repro.workload.generator import attention_inputs, token_embedding_inputs
+from repro.workload.transformer import TransformerSpec
+
+
+class TestTransformerSpec:
+    def test_bert_base_head_dim(self):
+        assert TransformerSpec.bert_base().head_dim == 64
+
+    def test_longformer_uses_window(self):
+        spec = TransformerSpec.longformer_base(window=256)
+        assert spec.uses_window_attention and spec.window == 256
+
+    def test_with_window_returns_copy(self):
+        dense = TransformerSpec.bert_base()
+        windowed = dense.with_window(128)
+        assert windowed.window == 128 and dense.window is None
+
+    def test_indivisible_heads_raise(self):
+        with pytest.raises(ValueError):
+            TransformerSpec(hidden_dim=100, num_heads=3)
+
+    def test_invalid_element_bytes_raise(self):
+        with pytest.raises(ValueError):
+            TransformerSpec(element_bytes=8)
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            TransformerSpec(window=0)
+
+
+class TestLayerOpCounts:
+    def test_attention_flops_quadratic_for_dense(self):
+        spec = TransformerSpec.bert_base()
+        small = layer_op_counts(spec, 1024)
+        large = layer_op_counts(spec, 2048)
+        assert large.attention_flops == pytest.approx(4 * small.attention_flops, rel=0.05)
+
+    def test_attention_flops_linear_for_window(self):
+        spec = TransformerSpec.longformer_base(window=128)
+        small = layer_op_counts(spec, 2048)
+        large = layer_op_counts(spec, 4096)
+        assert large.attention_flops == pytest.approx(2 * small.attention_flops, rel=0.05)
+
+    def test_linear_and_ffn_flops_linear_in_length(self):
+        spec = TransformerSpec.bert_base()
+        small = layer_op_counts(spec, 1024)
+        large = layer_op_counts(spec, 2048)
+        assert large.linear_flops == pytest.approx(2 * small.linear_flops)
+        assert large.ffn_flops == pytest.approx(2 * small.ffn_flops)
+
+    def test_ratios_sum_to_one(self):
+        counts = layer_op_counts(TransformerSpec.bert_base(), 4096)
+        assert sum(counts.flops_ratios().values()) == pytest.approx(1.0)
+        assert sum(counts.mops_ratios().values()) == pytest.approx(1.0)
+
+    def test_attention_share_grows_with_length(self):
+        """The Figure 1 trend: attention dominates at long input lengths."""
+        spec = TransformerSpec.bert_base()
+        shares = [layer_op_counts(spec, n).flops_ratios()["attention"] for n in (128, 2048, 16384)]
+        assert shares[0] < shares[1] < shares[2]
+        assert shares[2] > 0.5
+
+    def test_attention_mops_dominate_sooner_than_flops(self):
+        counts = layer_op_counts(TransformerSpec.bert_base(), 2048)
+        assert counts.mops_ratios()["attention"] > counts.flops_ratios()["attention"]
+
+    def test_breakdown_sweep_preserves_order(self):
+        lengths = [128, 512, 2048]
+        counts = op_breakdown_by_length(TransformerSpec.bert_base(), lengths)
+        assert [c.seq_len for c in counts] == lengths
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            layer_op_counts(TransformerSpec.bert_base(), 0)
+        with pytest.raises(ValueError):
+            op_breakdown_by_length(TransformerSpec.bert_base(), [])
+
+
+class TestGenerators:
+    def test_attention_inputs_shapes(self):
+        q, k, v = attention_inputs(32, 16)
+        assert q.shape == k.shape == v.shape == (32, 16)
+
+    def test_attention_inputs_deterministic(self):
+        a = attention_inputs(16, 8, seed=3)
+        b = attention_inputs(16, 8, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_attention_inputs_scale(self):
+        q_small, _, _ = attention_inputs(64, 8, seed=0, scale=0.1)
+        q_large, _, _ = attention_inputs(64, 8, seed=0, scale=1.0)
+        assert np.abs(q_small).max() < np.abs(q_large).max()
+
+    def test_attention_inputs_invalid(self):
+        with pytest.raises(ValueError):
+            attention_inputs(0, 8)
+        with pytest.raises(ValueError):
+            attention_inputs(8, 8, scale=0.0)
+
+    def test_token_embedding_inputs(self):
+        tokens, table = token_embedding_inputs(24, 16, vocab_size=50)
+        assert tokens.shape == (24,) and table.shape == (50, 16)
+        assert tokens.min() >= 0 and tokens.max() < 50
+
+    def test_token_embedding_invalid(self):
+        with pytest.raises(ValueError):
+            token_embedding_inputs(8, 8, vocab_size=1)
