@@ -1,0 +1,60 @@
+"""Serving demo: batch, shard and cache attention requests on SWAT.
+
+Programmatic tour of :mod:`repro.serving`: build a mixed-shape request set,
+serve it through a batched 4-shard pool of cycle-accurate simulators, verify
+one served output against the dense reference, and compare the pool's
+requests/sec against sequential single-shard dispatch.
+
+Run with ``python examples/serving_demo.py`` — or use the installed
+``repro-serve`` console script for the configurable CLI variant.
+"""
+
+import numpy as np
+
+from repro.attention import dense_attention, swat_window_mask
+from repro.core.config import SWATConfig
+from repro.serving import PlanCache, ServingEngine, make_requests
+
+
+def main() -> None:
+    # A scaled-down SWAT instance served by a pool of four shards.
+    config = SWATConfig.longformer(window_tokens=64)
+    print(f"SWAT configuration: {config.describe()}")
+
+    # A bursty arrival mix: repeated shapes (cache-friendly) across two sizes.
+    seq_lens = [256, 256, 512, 256, 512, 256, 512, 512] * 2
+    requests = make_requests(seq_lens, config.head_dim, seed=0)
+
+    pool = ServingEngine(
+        config=config,
+        backend="simulator",
+        num_shards=4,
+        max_batch_size=4,
+        plan_cache=PlanCache(),
+    )
+    result = pool.serve(requests)
+    print()
+    print(result.stats.render())
+
+    # Served outputs are the real attention results: check one end to end.
+    first = requests[0]
+    reference = dense_attention(
+        first.q, first.k, first.v, mask=swat_window_mask(first.seq_len, config.window_tokens)
+    )
+    max_error = float(np.max(np.abs(result.output_for(first) - reference)))
+    print(f"\nmax |served - dense reference| = {max_error:.2e}")
+
+    # The serving-level speedup: same request set, no batching, one shard.
+    sequential = ServingEngine(
+        config=config, backend="simulator", num_shards=1, max_batch_size=1
+    ).serve(requests)
+    speedup = result.stats.requests_per_second / sequential.stats.requests_per_second
+    print(
+        f"batched 4-shard pool: {result.stats.requests_per_second:.0f} req/s (device) "
+        f"vs sequential {sequential.stats.requests_per_second:.0f} req/s "
+        f"-> {speedup:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,27 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` also works in
-offline environments where the ``wheel`` package (needed for PEP 660 editable
-builds) is unavailable: ``pip install -e . --no-build-isolation --no-use-pep517``.
+Carries the full package metadata (there is no ``pyproject.toml``) so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (needed for PEP 660 editable builds) is unavailable:
+``pip install -e . --no-build-isolation --no-use-pep517``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-swat",
+    version="1.0.0",
+    description=(
+        "Reproduction of SWAT (DAC 2024): window-attention FPGA acceleration, "
+        "with an async multi-accelerator serving layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.serving.demo:main",
+        ]
+    },
+)

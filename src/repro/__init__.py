@@ -21,6 +21,10 @@ gpu
     sliding-chunks attention.
 baselines
     The Butterfly FPGA accelerator baseline and a generic dense FPGA baseline.
+serving
+    Async multi-accelerator serving layer: pluggable backend registry,
+    dynamic batching across a shard pool, plan/schedule caching and
+    serving-level throughput accounting (``repro-serve`` CLI).
 workload
     Transformer workload specifications and FLOPs/MOPs accounting.
 nn

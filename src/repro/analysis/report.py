@@ -31,6 +31,18 @@ class Table:
     columns: "list[str]"
     rows: "list[list[object]]" = field(default_factory=list)
 
+    @classmethod
+    def from_mapping(cls, title: str, mapping: "dict[str, object]") -> "Table":
+        """Build a two-column (metric, value) table from a mapping.
+
+        Used by counter-style reports (e.g. the serving layer's
+        ``ServingStats``) where each row is one named quantity.
+        """
+        table = cls(title=title, columns=["metric", "value"])
+        for name, value in mapping.items():
+            table.add_row(name, value)
+        return table
+
     def add_row(self, *values: object) -> None:
         """Append a row, checking its arity against the header."""
         if len(values) != len(self.columns):

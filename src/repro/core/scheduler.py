@@ -37,9 +37,10 @@ class RowPlan:
         Window keys that were not resident in the FIFO before this row and
         therefore must be loaded during this row's LOAD stage.
     reloaded_keys:
-        Keys loaded this row even though the dataflow has seen them before
-        (random-attention refreshes); these are the source of redundant
-        traffic.
+        Random keys loaded this row that the dataflow has already fetched
+        (window-resident or global); these are the source of redundant
+        traffic.  Random keys pointing ahead of the window are fetched too
+        (see :attr:`keys_loaded`) but are first-time loads, not reloads.
     """
 
     row: int
@@ -56,8 +57,12 @@ class RowPlan:
 
     @property
     def keys_loaded(self) -> "tuple[int, ...]":
-        """Keys whose K/V rows are fetched from off-chip memory this row."""
-        return tuple(sorted(set(self.new_window_keys) | set(self.reloaded_keys)))
+        """Keys whose K/V rows are fetched from off-chip memory this row.
+
+        Every random key is refreshed every row it appears in (whether or not
+        it was fetched before), plus the window keys entering the FIFO.
+        """
+        return tuple(sorted(set(self.new_window_keys) | set(self.random_keys)))
 
 
 class RowMajorScheduler:
@@ -134,7 +139,7 @@ class RowMajorScheduler:
                     global_keys=self._global_keys,
                     random_keys=random_keys,
                     new_window_keys=new_window,
-                    reloaded_keys=tuple(sorted(set(random_keys))),
+                    reloaded_keys=reloaded,
                 )
             )
         return plans
@@ -143,16 +148,22 @@ class RowMajorScheduler:
         """Off-chip traffic of one attention head under this schedule.
 
         Returns a dict with ``q``, ``k``, ``v``, ``output`` and ``redundant_kv``
-        byte counts.  Window and global K/V rows are fetched exactly once;
-        random-attention rows are re-fetched every row they appear in.
+        byte counts.  Every key row streams through the window FIFO exactly
+        once; global rows are additionally pre-loaded into their dedicated
+        cores before the row loop, and random-attention rows are re-fetched
+        every row they appear in.  Each fetch beyond the first of a given key
+        is redundant, so the redundant count is exactly the global pre-loads
+        plus the random refreshes — matching the event-by-event accounting of
+        :meth:`repro.core.simulator.SWATSimulator.run` field by field.
         """
         config = self.config
         row_bytes = config.kv_row_bytes
-        window_and_global_rows = self.seq_len  # every key row enters the window once
+        window_rows = self.seq_len  # every key row enters the window once
+        global_preloads = len(self._global_keys)
         random_fetches = sum(len(self.random_keys(row)) for row in range(self.seq_len))
-        k_bytes = (window_and_global_rows + random_fetches) * row_bytes
+        k_bytes = (window_rows + global_preloads + random_fetches) * row_bytes
         v_bytes = k_bytes
-        redundant = 2 * random_fetches * row_bytes
+        redundant = 2 * (global_preloads + random_fetches) * row_bytes
         q_bytes = self.seq_len * row_bytes
         output_bytes = self.seq_len * row_bytes
         return {

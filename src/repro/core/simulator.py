@@ -115,15 +115,33 @@ class SimulationResult:
 class SWATSimulator:
     """Cycle-accurate, functionally-exact simulator of one SWAT instance."""
 
-    def __init__(self, config: "SWATConfig | None" = None, hbm: "HBMModel | None" = None):
+    def __init__(
+        self,
+        config: "SWATConfig | None" = None,
+        hbm: "HBMModel | None" = None,
+        plan_cache=None,
+    ):
         self.config = config if config is not None else SWATConfig()
         self.pipeline = SWATPipelineModel(self.config)
         self.resources = estimate_resources(self.config)
         self.power_model = PowerModel(self.config, self.resources)
+        #: Optional schedule cache (see :class:`repro.serving.cache.PlanCache`).
+        #: Anything with a ``lookup(config, seq_len)`` method returning an
+        #: object with ``scheduler`` and ``plans`` attributes works; ``None``
+        #: rebuilds the row-major schedule on every call (the seed behaviour).
+        self.plan_cache = plan_cache
         self.hbm = hbm if hbm is not None else HBMModel(
             bandwidth_gbps=self.config.device.hbm_bandwidth_gbps,
             clock_hz=self.config.clock_hz,
         )
+
+    def _schedule(self, seq_len: int) -> "tuple[RowMajorScheduler, tuple]":
+        """Resolve the row-major schedule, through the plan cache when present."""
+        if self.plan_cache is not None:
+            entry = self.plan_cache.lookup(self.config, seq_len)
+            return entry.scheduler, entry.plans
+        scheduler = RowMajorScheduler(self.config, seq_len)
+        return scheduler, tuple(scheduler.plans())
 
     # ------------------------------------------------------------------ #
     # Analytical timing (any sequence length)
@@ -147,7 +165,7 @@ class SWATSimulator:
 
     def estimate_traffic(self, seq_len: int) -> MemoryTrafficSummary:
         """Analytical off-chip traffic for one head over ``seq_len`` tokens."""
-        scheduler = RowMajorScheduler(self.config, seq_len)
+        scheduler, _ = self._schedule(seq_len)
         traffic = scheduler.traffic_bytes()
         return MemoryTrafficSummary(
             q_bytes_loaded=traffic["q"],
@@ -207,7 +225,7 @@ class SWATSimulator:
         if scale is None:
             scale = 1.0 / np.sqrt(self.config.head_dim)
 
-        scheduler = RowMajorScheduler(self.config, seq_len)
+        scheduler, plans = self._schedule(seq_len)
         window_fifo = KVFifoBuffer(
             capacity=max(self.config.window_tokens, 1), head_dim=self.config.head_dim
         )
@@ -232,7 +250,7 @@ class SWATSimulator:
         output = np.empty_like(q)
         loaded_once: "set[int]" = set(global_keys)
 
-        for plan in scheduler.plans():
+        for plan in plans:
             # LOAD stage: fetch the window keys not yet resident (at steady
             # state exactly one per row) and refresh the random cores.
             for key in plan.new_window_keys:

@@ -1,0 +1,374 @@
+"""Pluggable execution backends behind a common batch protocol.
+
+Every way this repository can execute (or price) an attention computation is
+wrapped as an :class:`AttentionBackend` and registered by name, so the serving
+engine, the demo CLI and the benchmarks select execution paths with a string:
+
+``simulator``
+    The cycle-accurate, functionally-exact :class:`~repro.core.simulator.SWATSimulator`.
+``analytical``
+    SWAT's analytical timing model only (no functional output) — the
+    high-throughput capacity-planning path.
+``fused``
+    The software fused row-wise kernel of :mod:`repro.attention.fused`,
+    scheduled by the same row plans as the hardware (host execution, measured
+    wall time instead of modelled cycles).
+``gpu-dense`` / ``gpu-chunked``
+    The analytical GPU models of :mod:`repro.gpu` (dense and sliding-chunks).
+``dense-fpga``
+    The dense-attention FPGA baseline of :mod:`repro.baselines.dense_fpga`.
+
+SWAT backends amortise the pipeline fill across a batch: rows of consecutive
+same-config requests stream back to back, so a batch of ``n`` requests costs
+``fill + (total_rows - 1) * II`` cycles instead of ``n`` separate fills — the
+modelled benefit dynamic batching exists to capture.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from repro.attention.fused import fused_row
+from repro.baselines.dense_fpga import DenseFPGABaseline
+from repro.core.config import SWATConfig
+from repro.core.pipeline import SWATPipelineModel
+from repro.core.power import PowerModel
+from repro.core.simulator import SWATSimulator
+from repro.gpu.chunked_runner import SlidingChunksAttentionGPU
+from repro.gpu.dense_runner import DenseAttentionGPU
+from repro.serving.cache import PlanCache
+from repro.serving.request import AttentionRequest
+
+__all__ = [
+    "BackendResult",
+    "AttentionBackend",
+    "BackendRegistry",
+    "REGISTRY",
+    "register_backend",
+    "create_backend",
+    "available_backends",
+    "swat_batch_cycles",
+]
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """What one backend dispatch of a batch produced.
+
+    Attributes
+    ----------
+    outputs:
+        Per-request attention outputs, aligned with the batch order; ``None``
+        entries for analytical requests or non-functional backends.
+    device_seconds:
+        Accelerator busy time for the whole batch (modelled for hardware
+        backends, measured host time for the software kernel).
+    cycles:
+        Modelled cycle count when the backend has a cycle-accurate clock
+        domain, else ``None``.
+    energy_joules:
+        Modelled energy of the batch (0 for host-software execution).
+    """
+
+    outputs: "tuple[np.ndarray | None, ...]"
+    device_seconds: float
+    cycles: "int | None"
+    energy_joules: float
+
+
+class AttentionBackend(ABC):
+    """Common protocol of every execution path: execute one batch at a time.
+
+    Subclasses declare ``name`` (the registry key) and ``functional`` (whether
+    functional requests get an output array back).
+    """
+
+    name: str = ""
+    functional: bool = False
+
+    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
+        self.config = config if config is not None else SWATConfig()
+        self.plan_cache = plan_cache
+
+    @abstractmethod
+    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+        """Execute (or price) every request of ``batch`` and return the result."""
+
+    def execute(self, request: AttentionRequest) -> BackendResult:
+        """Convenience: execute a single request as a batch of one."""
+        return self.execute_batch([request])
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by the demo CLI."""
+        kind = "functional" if self.functional else "analytical"
+        return f"{self.name} ({kind}): {self.config.describe()}"
+
+
+class BackendRegistry:
+    """Name -> backend-class registry with a decorator-based registration."""
+
+    def __init__(self):
+        self._backends: "dict[str, type[AttentionBackend]]" = {}
+
+    def register(self, cls: "type[AttentionBackend]") -> "type[AttentionBackend]":
+        """Class decorator: register ``cls`` under its ``name`` attribute."""
+        if not cls.name:
+            raise ValueError(f"backend class {cls.__name__} must set a non-empty name")
+        if cls.name in self._backends:
+            raise ValueError(f"backend {cls.name!r} is already registered")
+        self._backends[cls.name] = cls
+        return cls
+
+    def backend_class(self, name: str) -> "type[AttentionBackend]":
+        """Return the backend class registered under ``name``."""
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown backend {name!r}; available: {sorted(self._backends)}"
+            ) from None
+
+    def create(
+        self,
+        name: str,
+        config: "SWATConfig | None" = None,
+        plan_cache: "PlanCache | None" = None,
+    ) -> AttentionBackend:
+        """Instantiate the backend registered under ``name``."""
+        return self.backend_class(name)(config=config, plan_cache=plan_cache)
+
+    def names(self) -> "tuple[str, ...]":
+        """Registered backend names, sorted."""
+        return tuple(sorted(self._backends))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+
+#: The process-wide registry the serving engine resolves names against.
+REGISTRY = BackendRegistry()
+register_backend = REGISTRY.register
+
+
+def create_backend(
+    name: str,
+    config: "SWATConfig | None" = None,
+    plan_cache: "PlanCache | None" = None,
+) -> AttentionBackend:
+    """Instantiate a backend from the process-wide registry."""
+    return REGISTRY.create(name, config=config, plan_cache=plan_cache)
+
+
+def available_backends() -> "tuple[str, ...]":
+    """Names of all registered backends."""
+    return REGISTRY.names()
+
+
+def swat_batch_cycles(pipeline: SWATPipelineModel, batch: "list[AttentionRequest]") -> int:
+    """Cycles for a batch of attentions streamed back to back on one SWAT.
+
+    Consecutive same-config requests keep the pipeline primed, so the fill is
+    paid once per dispatch rather than once per request:
+    ``fill + (total_rows - 1) * II``.  Heads are distributed across the
+    replicated pipelines exactly as in
+    :meth:`~repro.core.pipeline.SWATPipelineModel.attention_cycles`.
+    """
+    num_pipelines = pipeline.config.num_pipelines
+    total_rows = sum(
+        ceil(request.num_heads / num_pipelines) * request.seq_len for request in batch
+    )
+    return pipeline.cycles_for_rows(total_rows)
+
+
+class _SWATBackendBase(AttentionBackend):
+    """Shared SWAT machinery: simulator, batch timing, energy accounting."""
+
+    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
+        super().__init__(config=config, plan_cache=plan_cache)
+        self.simulator = SWATSimulator(self.config, plan_cache=plan_cache)
+
+    def _batch_timing(self, batch: "list[AttentionRequest]") -> "tuple[int, float, float]":
+        cycles = swat_batch_cycles(self.simulator.pipeline, batch)
+        seconds = cycles * self.config.clock_period_s
+        energy = self.simulator.power_model.total_power_w * seconds
+        return cycles, seconds, energy
+
+
+@register_backend
+class SimulatorBackend(_SWATBackendBase):
+    """Cycle-accurate SWAT: functional outputs plus batch-amortised timing."""
+
+    name = "simulator"
+    functional = True
+
+    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+        outputs: "list[np.ndarray | None]" = []
+        for request in batch:
+            if request.is_functional:
+                outputs.append(self.simulator.run(request.q, request.k, request.v).output)
+            else:
+                outputs.append(None)
+        cycles, seconds, energy = self._batch_timing(batch)
+        return BackendResult(
+            outputs=tuple(outputs), device_seconds=seconds, cycles=cycles, energy_joules=energy
+        )
+
+
+@register_backend
+class AnalyticalBackend(_SWATBackendBase):
+    """SWAT timing model only — prices batches without touching the data."""
+
+    name = "analytical"
+    functional = False
+
+    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+        cycles, seconds, energy = self._batch_timing(batch)
+        return BackendResult(
+            outputs=(None,) * len(batch),
+            device_seconds=seconds,
+            cycles=cycles,
+            energy_joules=energy,
+        )
+
+
+@register_backend
+class FusedSoftwareBackend(AttentionBackend):
+    """Host execution of the fused kernel over the hardware's row plans.
+
+    Uses the same cached :class:`~repro.core.scheduler.RowMajorScheduler`
+    plans as the simulator, so its outputs are bit-identical to the
+    ``simulator`` backend's, at software speed.  ``device_seconds`` is the
+    measured host time (there is no cycle model for the host CPU).
+    """
+
+    name = "fused"
+    functional = True
+
+    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
+        super().__init__(config=config, plan_cache=plan_cache)
+        if self.plan_cache is None:
+            self.plan_cache = PlanCache()
+
+    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+        start = time.perf_counter()
+        outputs: "list[np.ndarray | None]" = []
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        for request in batch:
+            if not request.is_functional:
+                outputs.append(None)
+                continue
+            entry = self.plan_cache.lookup(self.config, request.seq_len)
+            q = np.asarray(request.q, dtype=np.float64)
+            k = np.asarray(request.k, dtype=np.float64)
+            v = np.asarray(request.v, dtype=np.float64)
+            output = np.empty_like(q)
+            for plan in entry.plans:
+                # Same gather order as the attention-core array (window cores
+                # first, then the global/random cores): float accumulation is
+                # order-sensitive, and bit-identity with the simulator backend
+                # is part of this backend's contract.
+                window = set(plan.window_keys)
+                extras = [
+                    key
+                    for key in sorted(set(plan.global_keys) | set(plan.random_keys))
+                    if key not in window
+                ]
+                indices = list(plan.window_keys) + extras
+                result = fused_row(
+                    q[plan.row], k[indices], v[indices], scale=scale, subtract_max=False
+                )
+                output[plan.row] = result.z
+            outputs.append(output)
+        elapsed = time.perf_counter() - start
+        return BackendResult(
+            outputs=tuple(outputs), device_seconds=elapsed, cycles=None, energy_joules=0.0
+        )
+
+
+class _GPUBackendBase(AttentionBackend):
+    """Shared GPU accounting: per-request reports summed over the batch.
+
+    The GPU models have no cross-request pipeline to amortise — every request
+    pays its own kernel-launch floors — which is exactly the contrast with the
+    SWAT backends the serving benchmarks surface.
+    """
+
+    def _runner_run(self, seq_len: int):
+        raise NotImplementedError
+
+    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+        seconds = 0.0
+        energy = 0.0
+        for request in batch:
+            report = self._runner_run(request.seq_len)
+            seconds += report.seconds * request.num_heads
+            energy += report.energy_joules * request.num_heads
+        return BackendResult(
+            outputs=(None,) * len(batch), device_seconds=seconds, cycles=None, energy_joules=energy
+        )
+
+
+@register_backend
+class GPUDenseBackend(_GPUBackendBase):
+    """Naive dense softmax attention on the modelled server GPU."""
+
+    name = "gpu-dense"
+    functional = False
+
+    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
+        super().__init__(config=config, plan_cache=plan_cache)
+        self.runner = DenseAttentionGPU(
+            precision=self.config.precision.name, head_dim=self.config.head_dim
+        )
+
+    def _runner_run(self, seq_len: int):
+        return self.runner.run(seq_len)
+
+
+@register_backend
+class GPUChunkedBackend(_GPUBackendBase):
+    """Longformer sliding-chunks window attention on the modelled GPU."""
+
+    name = "gpu-chunked"
+    functional = False
+
+    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
+        super().__init__(config=config, plan_cache=plan_cache)
+        self.runner = SlidingChunksAttentionGPU(
+            window=self.config.window_half_width,
+            precision=self.config.precision.name,
+            head_dim=self.config.head_dim,
+        )
+
+    def _runner_run(self, seq_len: int):
+        return self.runner.run(seq_len)
+
+
+@register_backend
+class DenseFPGABackend(AttentionBackend):
+    """Dense attention on a SWAT-sized core array (the ablation baseline)."""
+
+    name = "dense-fpga"
+    functional = False
+
+    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
+        super().__init__(config=config, plan_cache=plan_cache)
+        self.baseline = DenseFPGABaseline(self.config)
+        self.power_model = PowerModel(self.config)
+
+    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+        cycles = 0
+        for request in batch:
+            cycles += self.baseline.run(request.seq_len, num_heads=request.num_heads).cycles
+        seconds = cycles * self.config.clock_period_s
+        return BackendResult(
+            outputs=(None,) * len(batch),
+            device_seconds=seconds,
+            cycles=cycles,
+            energy_joules=self.power_model.total_power_w * seconds,
+        )

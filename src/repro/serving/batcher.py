@@ -1,0 +1,86 @@
+"""Dynamic batching: group compatible in-flight requests before dispatch.
+
+Requests are grouped by *batch key*: the config fingerprint (two requests can
+share an accelerator dispatch only if they target the same synthesised design)
+plus a sequence-length bucket (power-of-two rounding, so a 900-token and a
+1000-token request share the 1024 bucket).  A batch is released as soon as it
+reaches ``max_batch_size``; stragglers are released by ``flush()`` when the
+queue drains — the simulation-time analogue of a batching timeout.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.core.config import SWATConfig
+from repro.serving.cache import config_fingerprint
+from repro.serving.request import AttentionRequest
+
+__all__ = ["seq_len_bucket", "Batch", "DynamicBatcher"]
+
+
+def seq_len_bucket(seq_len: int) -> int:
+    """Round ``seq_len`` up to the next power of two (the batching bucket)."""
+    if seq_len <= 0:
+        raise ValueError(f"seq_len must be positive, got {seq_len}")
+    return 1 << (seq_len - 1).bit_length()
+
+
+@dataclass
+class Batch:
+    """One dispatchable group of compatible requests."""
+
+    batch_id: int
+    key: "tuple[object, ...]"
+    requests: "list[AttentionRequest]" = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_rows(self) -> int:
+        """Query rows across the batch (the device-time driver)."""
+        return sum(request.seq_len * request.num_heads for request in self.requests)
+
+
+class DynamicBatcher:
+    """Accumulates requests per batch key and emits batches for dispatch."""
+
+    def __init__(self, config: SWATConfig, max_batch_size: int = 8):
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        self.config = config
+        self.max_batch_size = max_batch_size
+        self._fingerprint = config_fingerprint(config)
+        self._pending: "OrderedDict[tuple, list[AttentionRequest]]" = OrderedDict()
+        self._batch_ids = count()
+
+    def batch_key(self, request: AttentionRequest) -> "tuple[object, ...]":
+        """Grouping key: (config fingerprint, seq-len bucket)."""
+        return (self._fingerprint, seq_len_bucket(request.seq_len))
+
+    @property
+    def pending_count(self) -> int:
+        """Requests accumulated but not yet emitted."""
+        return sum(len(requests) for requests in self._pending.values())
+
+    def add(self, request: AttentionRequest) -> "Batch | None":
+        """Enqueue ``request``; return a full batch if this filled one."""
+        key = self.batch_key(request)
+        bucket = self._pending.setdefault(key, [])
+        bucket.append(request)
+        if len(bucket) >= self.max_batch_size:
+            del self._pending[key]
+            return Batch(batch_id=next(self._batch_ids), key=key, requests=bucket)
+        return None
+
+    def flush(self) -> "list[Batch]":
+        """Emit every partially-filled batch (queue-drain / timeout path)."""
+        batches = [
+            Batch(batch_id=next(self._batch_ids), key=key, requests=requests)
+            for key, requests in self._pending.items()
+        ]
+        self._pending.clear()
+        return batches

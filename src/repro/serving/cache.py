@@ -1,0 +1,119 @@
+"""Plan/schedule cache shared by the serving backends.
+
+Building a :class:`~repro.core.scheduler.RowMajorScheduler` is a per-shape
+cost: the random-attention table alone is ``O(seq_len)`` numpy set operations
+and the row plans are ``O(seq_len * window)`` python work.  The seed simulator
+rebuilt both on every :meth:`~repro.core.simulator.SWATSimulator.run` call,
+which a served system repeating the same shapes millions of times cannot
+afford.  :class:`PlanCache` memoises ``(config fingerprint, seq_len) ->
+(scheduler, plans)`` with an LRU bound, hit/miss/eviction counters and
+thread-safe lookup (shard workers may share one cache across threads).
+
+The cached schedule is deterministic — the random-attention table is a
+design-time parameter fixed by ``config.random_seed`` — so a cache hit is
+bit-identical to a rebuild, which the test-suite asserts end to end on
+:class:`~repro.core.simulator.SimulationResult.output`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.config import SWATConfig
+from repro.core.scheduler import RowMajorScheduler, RowPlan
+
+__all__ = ["config_fingerprint", "CachedPlan", "PlanCache"]
+
+
+def config_fingerprint(config: SWATConfig) -> "tuple[object, ...]":
+    """Hashable fingerprint of every config field the schedule depends on.
+
+    Two configs with equal fingerprints produce identical row-major schedules
+    and identical per-row traffic for every sequence length.  ``head_dim`` and
+    the precision enter through ``kv_row_bytes`` (traffic accounting); the
+    window/global/random geometry and the random seed fix the key sets.
+    """
+    return (
+        config.head_dim,
+        config.window_tokens,
+        config.num_global_tokens,
+        config.num_random_tokens,
+        config.random_seed,
+        config.precision.name,
+    )
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One cached schedule: the scheduler plus its materialised row plans."""
+
+    scheduler: RowMajorScheduler
+    plans: "tuple[RowPlan, ...]"
+
+    @property
+    def seq_len(self) -> int:
+        """Sequence length this schedule covers."""
+        return self.scheduler.seq_len
+
+
+class PlanCache:
+    """LRU cache of row-major schedules keyed by (config fingerprint, seq_len)."""
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, config: SWATConfig, seq_len: int) -> CachedPlan:
+        """Return the schedule for ``(config, seq_len)``, building it on a miss."""
+        key = (config_fingerprint(config), seq_len)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+        # Build outside the lock: schedule construction is the expensive part
+        # and concurrent workers must not serialise on it.  A racing double
+        # build is benign (both results are identical); last write wins.
+        scheduler = RowMajorScheduler(config, seq_len)
+        entry = CachedPlan(scheduler=scheduler, plans=tuple(scheduler.plans()))
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> "dict[str, int]":
+        """Snapshot of the hit/miss/eviction counters plus current size."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+            }

@@ -1,0 +1,178 @@
+"""Async serving engine: request queue, dynamic batcher and a shard pool.
+
+The engine turns the one-shot simulator into a served system.  Clients submit
+:class:`~repro.serving.request.AttentionRequest`\\ s; the
+:class:`~repro.serving.batcher.DynamicBatcher` groups compatible requests;
+full batches are dispatched to the least-loaded of ``num_shards`` accelerator
+instances, each a private :class:`~repro.serving.backends.AttentionBackend`
+draining its own queue.  All shards share one
+:class:`~repro.serving.cache.PlanCache`, so a schedule is built once per shape
+for the whole pool.
+
+Two clocks are kept: the *device* clock (modelled accelerator busy time per
+shard — shards run in parallel, so the pool finishes at the busiest shard's
+makespan) and the *wall* clock (measured host time; batch execution runs in
+worker threads via ``asyncio.to_thread`` so shards genuinely overlap).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.core.config import SWATConfig
+from repro.serving.backends import AttentionBackend, create_backend
+from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.cache import PlanCache
+from repro.serving.request import AttentionRequest, CompletedRequest
+from repro.serving.stats import BatchRecord, ServingStats
+
+__all__ = ["ServingResult", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything one serving run produced."""
+
+    completed: "list[CompletedRequest]"
+    stats: ServingStats
+    batches: "tuple[BatchRecord, ...]"
+
+    def output_for(self, request: AttentionRequest):
+        """Return the output served for ``request``.
+
+        ``None`` when the request was served by a non-functional backend (or
+        was analytical); raises :class:`KeyError` when ``request`` was not
+        part of this run at all.
+        """
+        for done in self.completed:
+            if done.request.request_id == request.request_id:
+                return done.output
+        raise KeyError(f"request {request.request_id} was not served in this run")
+
+
+class ServingEngine:
+    """Serves attention requests over a pool of sharded accelerator backends."""
+
+    def __init__(
+        self,
+        config: "SWATConfig | None" = None,
+        backend: str = "simulator",
+        num_shards: int = 2,
+        max_batch_size: int = 8,
+        plan_cache: "PlanCache | None" = None,
+    ):
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.config = config if config is not None else SWATConfig()
+        self.backend_name = backend
+        self.num_shards = num_shards
+        self.max_batch_size = max_batch_size
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.shards: "list[AttentionBackend]" = [
+            create_backend(backend, config=self.config, plan_cache=self.plan_cache)
+            for _ in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Synchronous convenience front-end
+    # ------------------------------------------------------------------ #
+
+    def serve(self, requests: "list[AttentionRequest]") -> ServingResult:
+        """Serve ``requests`` to completion and return outputs plus stats."""
+        return asyncio.run(self.serve_async(requests))
+
+    # ------------------------------------------------------------------ #
+    # Async serving
+    # ------------------------------------------------------------------ #
+
+    async def serve_async(self, requests: "list[AttentionRequest]") -> ServingResult:
+        """Async entry point: submit every request, drain the pool, account."""
+        start_wall = time.perf_counter()
+        cache_before = self.plan_cache.counters()
+
+        batcher = DynamicBatcher(self.config, max_batch_size=self.max_batch_size)
+        queues: "list[asyncio.Queue]" = [asyncio.Queue() for _ in range(self.num_shards)]
+        # Estimated rows already assigned per shard: the load-balancing signal
+        # (device seconds are proportional to rows for a fixed config).
+        assigned_rows = [0] * self.num_shards
+        shard_busy = [0.0] * self.num_shards
+        records: "list[BatchRecord]" = []
+        completed: "list[CompletedRequest]" = []
+
+        async def worker(shard_index: int) -> None:
+            backend = self.shards[shard_index]
+            queue = queues[shard_index]
+            while True:
+                batch = await queue.get()
+                if batch is None:
+                    queue.task_done()
+                    return
+                result = await asyncio.to_thread(backend.execute_batch, batch.requests)
+                shard_busy[shard_index] += result.device_seconds
+                records.append(
+                    BatchRecord(
+                        batch_id=batch.batch_id,
+                        shard=shard_index,
+                        size=len(batch),
+                        total_rows=batch.total_rows,
+                        device_seconds=result.device_seconds,
+                        energy_joules=result.energy_joules,
+                    )
+                )
+                for request, output in zip(batch.requests, result.outputs):
+                    completed.append(
+                        CompletedRequest(
+                            request=request,
+                            output=output,
+                            shard=shard_index,
+                            batch_id=batch.batch_id,
+                            batch_size=len(batch),
+                            device_seconds=result.device_seconds,
+                        )
+                    )
+                queue.task_done()
+
+        async def dispatch(batch: Batch) -> None:
+            shard_index = min(range(self.num_shards), key=lambda i: assigned_rows[i])
+            assigned_rows[shard_index] += batch.total_rows
+            await queues[shard_index].put(batch)
+
+        workers = [asyncio.create_task(worker(index)) for index in range(self.num_shards)]
+        try:
+            for request in requests:
+                full = batcher.add(request)
+                if full is not None:
+                    await dispatch(full)
+            for partial in batcher.flush():
+                await dispatch(partial)
+            for queue in queues:
+                await queue.put(None)
+            await asyncio.gather(*workers)
+        finally:
+            for task in workers:
+                task.cancel()
+
+        wall_seconds = time.perf_counter() - start_wall
+        cache_after = self.plan_cache.counters()
+        position = {request.request_id: index for index, request in enumerate(requests)}
+        completed.sort(key=lambda done: position[done.request.request_id])
+        stats = ServingStats(
+            backend=self.backend_name,
+            num_requests=len(requests),
+            num_batches=len(records),
+            num_shards=self.num_shards,
+            max_batch_size=self.max_batch_size,
+            device_makespan_seconds=max(shard_busy) if shard_busy else 0.0,
+            shard_busy_seconds=tuple(shard_busy),
+            total_energy_joules=sum(record.energy_joules for record in records),
+            wall_seconds=wall_seconds,
+            cache_hits=cache_after["hits"] - cache_before["hits"],
+            cache_misses=cache_after["misses"] - cache_before["misses"],
+        )
+        return ServingResult(
+            completed=completed,
+            stats=stats,
+            batches=tuple(sorted(records, key=lambda record: record.batch_id)),
+        )

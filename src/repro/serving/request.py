@@ -1,0 +1,120 @@
+"""Request and completion records of the serving layer.
+
+An :class:`AttentionRequest` is one attention computation a client wants
+served: either a *functional* request carrying concrete Q/K/V data (the
+backend returns the attention output) or an *analytical* request carrying
+only a sequence length (the backend returns timing/energy accounting, the
+mode used by capacity planning and the latency benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+import numpy as np
+
+from repro.workload.generator import attention_inputs
+
+__all__ = ["AttentionRequest", "CompletedRequest", "make_request", "make_requests"]
+
+_REQUEST_IDS = count()
+
+
+@dataclass
+class AttentionRequest:
+    """One attention computation submitted to the serving engine.
+
+    Attributes
+    ----------
+    seq_len:
+        Number of query/key rows.
+    q, k, v:
+        Optional concrete inputs of shape ``(seq_len, head_dim)``.  When
+        ``None`` the request is analytical: it is priced by the backend's
+        timing model but produces no functional output.
+    num_heads:
+        Identical heads to account for in the timing model.
+    request_id:
+        Monotonically increasing identifier (assigned automatically).
+    """
+
+    seq_len: int
+    q: "np.ndarray | None" = None
+    k: "np.ndarray | None" = None
+    v: "np.ndarray | None" = None
+    num_heads: int = 1
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def __post_init__(self) -> None:
+        if self.seq_len <= 0:
+            raise ValueError(f"seq_len must be positive, got {self.seq_len}")
+        if self.num_heads <= 0:
+            raise ValueError(f"num_heads must be positive, got {self.num_heads}")
+        provided = [x is not None for x in (self.q, self.k, self.v)]
+        if any(provided) and not all(provided):
+            raise ValueError("q, k, v must be provided together or not at all")
+        if self.is_functional and self.q.shape[0] != self.seq_len:
+            raise ValueError(
+                f"q has {self.q.shape[0]} rows but request declares seq_len={self.seq_len}"
+            )
+
+    @property
+    def is_functional(self) -> bool:
+        """True when the request carries concrete Q/K/V data."""
+        return self.q is not None
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A served request plus where and how it was executed.
+
+    Attributes
+    ----------
+    request:
+        The original request.
+    output:
+        Attention output ``(seq_len, head_dim)`` for functional requests on a
+        functional backend, else ``None``.
+    shard:
+        Index of the accelerator shard that executed the batch.
+    batch_id, batch_size:
+        The dispatch batch this request rode in.
+    device_seconds:
+        Modelled (or, for software backends, measured) accelerator busy time
+        of the whole batch.
+    """
+
+    request: AttentionRequest
+    output: "np.ndarray | None"
+    shard: int
+    batch_id: int
+    batch_size: int
+    device_seconds: float
+
+
+def make_request(
+    seq_len: int,
+    head_dim: int,
+    seed: int = 0,
+    num_heads: int = 1,
+    functional: bool = True,
+) -> AttentionRequest:
+    """Build one request, with random Q/K/V data when ``functional``."""
+    if not functional:
+        return AttentionRequest(seq_len=seq_len, num_heads=num_heads)
+    q, k, v = attention_inputs(seq_len, head_dim, seed=seed)
+    return AttentionRequest(seq_len=seq_len, q=q, k=k, v=v, num_heads=num_heads)
+
+
+def make_requests(
+    seq_lens: "list[int]",
+    head_dim: int,
+    seed: int = 0,
+    functional: bool = True,
+) -> "list[AttentionRequest]":
+    """Build one request per entry of ``seq_lens`` with distinct data seeds."""
+    return [
+        make_request(seq_len, head_dim, seed=seed + index, functional=functional)
+        for index, seq_len in enumerate(seq_lens)
+    ]

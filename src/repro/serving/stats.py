@@ -1,0 +1,129 @@
+"""Serving-level accounting: throughput, occupancy, shard utilisation, cache.
+
+The per-request :class:`~repro.core.simulator.TimingReport` answers "how fast
+is one attention"; :class:`ServingStats` answers the serving questions on top
+of it: requests/sec across the shard pool, how full the dispatched batches
+were, how evenly the shards were loaded and how often the plan cache saved a
+schedule rebuild.  Rendering goes through the shared
+:class:`repro.analysis.report.Table` machinery so serving reports line up
+with the paper-table reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table
+
+__all__ = ["BatchRecord", "ServingStats"]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Accounting for one dispatched batch."""
+
+    batch_id: int
+    shard: int
+    size: int
+    total_rows: int
+    device_seconds: float
+    energy_joules: float
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Aggregate accounting of one serving run.
+
+    Attributes
+    ----------
+    backend:
+        Name of the executing backend.
+    num_requests, num_batches, num_shards:
+        Volume of the run.
+    max_batch_size:
+        The batcher's dispatch bound (denominator of the occupancy).
+    device_makespan_seconds:
+        Busy time of the most-loaded shard — the pool finishes when it does,
+        so this is the denominator of the device throughput.
+    shard_busy_seconds:
+        Per-shard accelerator busy time.
+    total_energy_joules:
+        Summed modelled energy across all batches.
+    wall_seconds:
+        Measured host wall-clock of the run (queueing + batching + execution).
+    cache_hits, cache_misses:
+        Plan-cache counters accumulated during the run.
+    """
+
+    backend: str
+    num_requests: int
+    num_batches: int
+    num_shards: int
+    max_batch_size: int
+    device_makespan_seconds: float
+    shard_busy_seconds: "tuple[float, ...]"
+    total_energy_joules: float
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatched batch."""
+        return self.num_requests / self.num_batches if self.num_batches else 0.0
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean batch size as a fraction of the dispatch bound."""
+        return self.mean_batch_size / self.max_batch_size if self.max_batch_size else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        """Device throughput: requests served per second of pool makespan."""
+        if self.device_makespan_seconds <= 0:
+            return 0.0
+        return self.num_requests / self.device_makespan_seconds
+
+    @property
+    def wall_requests_per_second(self) -> float:
+        """Host-side throughput over the measured wall clock."""
+        return self.num_requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def shard_utilisation(self) -> "tuple[float, ...]":
+        """Per-shard busy time as a fraction of the pool makespan."""
+        makespan = self.device_makespan_seconds
+        if makespan <= 0:
+            return tuple(0.0 for _ in self.shard_busy_seconds)
+        return tuple(busy / makespan for busy in self.shard_busy_seconds)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Plan-cache hit fraction during the run."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_table(self, title: "str | None" = None) -> Table:
+        """Render the stats as a (metric, value) table."""
+        balance = min(self.shard_utilisation) if self.shard_busy_seconds else 0.0
+        return Table.from_mapping(
+            title if title is not None else f"Serving stats ({self.backend})",
+            {
+                "backend": self.backend,
+                "requests": self.num_requests,
+                "batches": self.num_batches,
+                "shards": self.num_shards,
+                "mean batch size": self.mean_batch_size,
+                "batch occupancy": self.batch_occupancy,
+                "device makespan [s]": self.device_makespan_seconds,
+                "requests/sec (device)": self.requests_per_second,
+                "requests/sec (wall)": self.wall_requests_per_second,
+                "shard balance (min util)": balance,
+                "energy [J]": self.total_energy_joules,
+                "plan-cache hit rate": self.cache_hit_rate,
+            },
+        )
+
+    def render(self) -> str:
+        """Plain-text report (the table, rendered)."""
+        return self.to_table().render()

@@ -100,6 +100,46 @@ class TestPlans:
         with pytest.raises(ValueError):
             RowMajorScheduler(_config(), seq_len=0)
 
+    def test_reloaded_keys_subset_of_resident_or_global_randoms(self):
+        """reloaded_keys ⊆ random_keys ∩ (resident ∪ global), row by row.
+
+        Regression test: plans() used to emit *all* random keys as reloaded,
+        wrongly including random keys that were never resident (ahead of the
+        window and not global) and therefore are first-time loads.
+        """
+        config = _config(window_tokens=8, num_global=2, num_random=3)
+        scheduler = RowMajorScheduler(config, seq_len=64)
+        resident: set = set()
+        global_keys = set(scheduler.global_keys)
+        saw_first_time_random_load = False
+        for plan in scheduler.plans():
+            resident_before = set(resident)
+            resident.update(plan.new_window_keys)
+            allowed = set(plan.random_keys) & (resident_before | global_keys)
+            assert set(plan.reloaded_keys) <= allowed
+            if set(plan.random_keys) - set(plan.reloaded_keys):
+                saw_first_time_random_load = True
+        # The fix is only observable if some random key ever points ahead of
+        # the window: make sure this workload exercises that case.
+        assert saw_first_time_random_load
+
+    def test_reloaded_keys_empty_without_random_attention(self):
+        scheduler = RowMajorScheduler(_config(window_tokens=8, num_global=2), seq_len=48)
+        assert all(plan.reloaded_keys == () for plan in scheduler.plans())
+
+    def test_keys_loaded_covers_every_fetch_of_the_row(self):
+        """keys_loaded = new window keys + every random refresh of the row.
+
+        First-time random fetches (keys ahead of the window) are loads too,
+        even though they are not *re*loads.
+        """
+        config = _config(window_tokens=8, num_global=2, num_random=2)
+        scheduler = RowMajorScheduler(config, seq_len=48)
+        for plan in scheduler.plans():
+            expected = tuple(sorted(set(plan.new_window_keys) | set(plan.random_keys)))
+            assert plan.keys_loaded == expected
+            assert set(plan.reloaded_keys) <= set(plan.keys_loaded)
+
 
 class TestTraffic:
     def test_window_only_traffic_is_exactly_once(self):

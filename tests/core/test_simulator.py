@@ -90,6 +90,36 @@ class TestTrafficAccounting:
         assert measured.q_bytes_loaded == estimated.q_bytes_loaded
         assert measured.output_bytes_stored == estimated.output_bytes_stored
 
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"num_global_tokens": 3},
+            {"num_random_tokens": 2},
+            {"num_global_tokens": 2, "num_random_tokens": 3},
+            {"num_global_tokens": 4, "num_random_tokens": 2, "random_seed": 7},
+        ],
+        ids=["window", "global", "random", "bigbird", "bigbird-seed7"],
+    )
+    @pytest.mark.parametrize("seq_len", [40, 57])
+    def test_measured_traffic_parity_field_by_field(self, overrides, seq_len):
+        """run().traffic == estimate_traffic() on every field, every config.
+
+        Locks the measured-vs-analytical invariant: the event-by-event
+        accounting of the cycle-accurate run and the closed-form schedule
+        traffic must agree exactly, with and without global/random attention.
+        """
+        config = _small_config(**overrides)
+        simulator = SWATSimulator(config)
+        q, k, v = attention_inputs(seq_len, 16, seed=3)
+        measured = simulator.run(q, k, v).traffic
+        estimated = simulator.estimate_traffic(seq_len)
+        assert measured.q_bytes_loaded == estimated.q_bytes_loaded
+        assert measured.k_bytes_loaded == estimated.k_bytes_loaded
+        assert measured.v_bytes_loaded == estimated.v_bytes_loaded
+        assert measured.output_bytes_stored == estimated.output_bytes_stored
+        assert measured.redundant_kv_bytes == estimated.redundant_kv_bytes
+
     def test_memory_footprint_linear(self):
         simulator = SWATSimulator(SWATConfig.longformer())
         assert simulator.memory_footprint_bytes(2048) == 2 * simulator.memory_footprint_bytes(1024)

@@ -1,0 +1,163 @@
+"""Tests for the backend registry and the individual backends."""
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import dense_attention
+from repro.attention.masks import swat_window_mask
+from repro.core.config import SWATConfig
+from repro.core.simulator import SWATSimulator
+from repro.serving.backends import (
+    REGISTRY,
+    AttentionBackend,
+    BackendRegistry,
+    available_backends,
+    create_backend,
+    swat_batch_cycles,
+)
+from repro.serving.cache import PlanCache
+from repro.serving.request import AttentionRequest, make_request
+
+EXPECTED_BACKENDS = {
+    "simulator",
+    "analytical",
+    "fused",
+    "gpu-dense",
+    "gpu-chunked",
+    "dense-fpga",
+}
+
+
+def _config(**overrides):
+    defaults = dict(head_dim=16, window_tokens=8)
+    defaults.update(overrides)
+    return SWATConfig(**defaults)
+
+
+class TestRegistry:
+    def test_all_execution_paths_registered(self):
+        assert EXPECTED_BACKENDS <= set(available_backends())
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(KeyError, match="simulator"):
+            create_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+
+        class Dummy(AttentionBackend):
+            name = "dummy"
+
+            def execute_batch(self, batch):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        registry.register(Dummy)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(Dummy)
+
+    def test_unnamed_backend_rejected(self):
+        registry = BackendRegistry()
+
+        class Nameless(AttentionBackend):
+            def execute_batch(self, batch):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            registry.register(Nameless)
+
+    def test_contains(self):
+        assert "simulator" in REGISTRY
+        assert "no-such-backend" not in REGISTRY
+
+    def test_describe_mentions_name_and_kind(self):
+        backend = create_backend("analytical", config=_config())
+        assert "analytical" in backend.describe()
+
+
+class TestSimulatorBackend:
+    def test_output_matches_masked_dense_reference(self):
+        config = _config()
+        backend = create_backend("simulator", config=config, plan_cache=PlanCache())
+        request = make_request(48, config.head_dim, seed=0)
+        result = backend.execute(request)
+        expected = dense_attention(
+            request.q, request.k, request.v, mask=swat_window_mask(48, config.window_tokens)
+        )
+        np.testing.assert_allclose(result.outputs[0], expected, atol=1e-9)
+        assert result.cycles > 0
+        assert result.device_seconds > 0
+        assert result.energy_joules > 0
+
+    def test_analytical_request_yields_no_output_but_is_priced(self):
+        backend = create_backend("simulator", config=_config())
+        result = backend.execute(AttentionRequest(seq_len=32))
+        assert result.outputs == (None,)
+        assert result.cycles > 0
+
+
+class TestFusedBackend:
+    def test_bit_identical_to_simulator_backend(self):
+        config = _config(num_global_tokens=2, num_random_tokens=2)
+        cache = PlanCache()
+        request = make_request(40, config.head_dim, seed=1)
+        simulated = create_backend("simulator", config=config, plan_cache=cache).execute(request)
+        fused = create_backend("fused", config=config, plan_cache=cache).execute(request)
+        assert np.array_equal(simulated.outputs[0], fused.outputs[0])
+
+    def test_measures_host_time(self):
+        backend = create_backend("fused", config=_config())
+        result = backend.execute(make_request(32, 16, seed=2))
+        assert result.device_seconds > 0
+        assert result.cycles is None
+
+
+class TestBatchAmortisation:
+    def test_batch_cheaper_than_sequential_dispatch(self):
+        """One fill per batch: n requests cost less than n separate dispatches."""
+        config = _config()
+        backend = create_backend("analytical", config=config)
+        requests = [AttentionRequest(seq_len=64) for _ in range(4)]
+        batched = backend.execute_batch(requests)
+        sequential = sum(backend.execute(request).cycles for request in requests)
+        assert batched.cycles < sequential
+        fill = backend.simulator.pipeline.timing.pipeline_depth_cycles
+        ii = backend.simulator.pipeline.initiation_interval
+        assert sequential - batched.cycles == 3 * (fill - ii)
+
+    def test_batch_cycles_match_pipeline_rows(self):
+        config = _config()
+        simulator = SWATSimulator(config)
+        requests = [AttentionRequest(seq_len=32), AttentionRequest(seq_len=48, num_heads=2)]
+        cycles = swat_batch_cycles(simulator.pipeline, requests)
+        assert cycles == simulator.pipeline.cycles_for_rows(32 + 2 * 48)
+
+    def test_single_request_batch_equals_estimate(self):
+        config = _config()
+        backend = create_backend("analytical", config=config)
+        estimate = SWATSimulator(config).estimate(96)
+        assert backend.execute(AttentionRequest(seq_len=96)).cycles == estimate.cycles
+
+
+class TestAnalyticalOnlyBackends:
+    @pytest.mark.parametrize("name", ["gpu-dense", "gpu-chunked", "dense-fpga"])
+    def test_priced_but_not_functional(self, name):
+        backend = create_backend(name, config=_config())
+        assert not backend.functional
+        result = backend.execute_batch(
+            [AttentionRequest(seq_len=128), AttentionRequest(seq_len=256)]
+        )
+        assert result.outputs == (None, None)
+        assert result.device_seconds > 0
+        assert result.energy_joules > 0
+
+    def test_gpu_heads_scale_cost(self):
+        backend = create_backend("gpu-dense", config=_config())
+        one = backend.execute(AttentionRequest(seq_len=256)).device_seconds
+        four = backend.execute(AttentionRequest(seq_len=256, num_heads=4)).device_seconds
+        assert four == pytest.approx(4 * one)
+
+    def test_dense_fpga_has_cycle_domain(self):
+        result = create_backend("dense-fpga", config=_config()).execute(
+            AttentionRequest(seq_len=64)
+        )
+        assert result.cycles > 0

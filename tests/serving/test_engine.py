@@ -1,0 +1,128 @@
+"""Tests for the async serving engine and its accounting."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import dense_attention
+from repro.attention.masks import swat_window_mask
+from repro.core.config import SWATConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.request import AttentionRequest, make_requests
+
+
+def _config(**overrides):
+    defaults = dict(head_dim=16, window_tokens=8)
+    defaults.update(overrides)
+    return SWATConfig(**defaults)
+
+
+class TestFunctionalServing:
+    def test_served_outputs_match_reference(self):
+        config = _config()
+        engine = ServingEngine(config=config, backend="simulator", num_shards=2, max_batch_size=2)
+        requests = make_requests([24, 24, 32, 32, 24], config.head_dim, seed=0)
+        result = engine.serve(requests)
+        assert len(result.completed) == len(requests)
+        for request, done in zip(requests, result.completed):
+            assert done.request.request_id == request.request_id
+            expected = dense_attention(
+                request.q,
+                request.k,
+                request.v,
+                mask=swat_window_mask(request.seq_len, config.window_tokens),
+            )
+            np.testing.assert_allclose(done.output, expected, atol=1e-9)
+
+    def test_output_for_lookup(self):
+        config = _config()
+        engine = ServingEngine(config=config, backend="simulator", num_shards=1)
+        requests = make_requests([16, 24], config.head_dim, seed=1)
+        result = engine.serve(requests)
+        assert np.array_equal(result.output_for(requests[1]), result.completed[1].output)
+        with pytest.raises(KeyError):
+            result.output_for(AttentionRequest(seq_len=16))
+
+    def test_shared_plan_cache_across_shards(self):
+        config = _config()
+        engine = ServingEngine(config=config, backend="simulator", num_shards=3, max_batch_size=1)
+        requests = make_requests([32] * 6, config.head_dim, seed=2)
+        result = engine.serve(requests)
+        # One build for the shape, every other lookup is a pool-wide hit.
+        assert result.stats.cache_misses == 1
+        assert result.stats.cache_hits == 5
+        assert result.stats.cache_hit_rate == pytest.approx(5 / 6)
+
+
+class TestAsyncApi:
+    def test_serve_async_from_running_loop(self):
+        config = _config()
+        engine = ServingEngine(config=config, backend="analytical", num_shards=2)
+
+        async def drive():
+            requests = [AttentionRequest(seq_len=64) for _ in range(8)]
+            return await engine.serve_async(requests)
+
+        result = asyncio.run(drive())
+        assert result.stats.num_requests == 8
+        assert all(done.output is None for done in result.completed)
+
+
+class TestAccounting:
+    def test_empty_request_set(self):
+        engine = ServingEngine(config=_config(), backend="analytical")
+        result = engine.serve([])
+        assert result.stats.num_requests == 0
+        assert result.stats.num_batches == 0
+        assert result.stats.requests_per_second == 0.0
+        assert result.stats.device_makespan_seconds == 0.0
+
+    def test_batch_and_shard_accounting(self):
+        engine = ServingEngine(
+            config=_config(), backend="analytical", num_shards=2, max_batch_size=4
+        )
+        requests = [AttentionRequest(seq_len=64) for _ in range(8)]
+        result = engine.serve(requests)
+        stats = result.stats
+        assert stats.num_batches == 2
+        assert stats.mean_batch_size == 4
+        assert stats.batch_occupancy == 1.0
+        assert len(stats.shard_busy_seconds) == 2
+        # Two equal batches on two shards: both busy, perfectly balanced.
+        assert stats.shard_busy_seconds[0] == pytest.approx(stats.shard_busy_seconds[1])
+        assert stats.device_makespan_seconds == pytest.approx(max(stats.shard_busy_seconds))
+        assert {record.shard for record in result.batches} == {0, 1}
+
+    def test_makespan_throughput_definition(self):
+        engine = ServingEngine(config=_config(), backend="analytical", num_shards=2)
+        requests = [AttentionRequest(seq_len=48) for _ in range(6)]
+        stats = engine.serve(requests).stats
+        assert stats.requests_per_second == pytest.approx(6 / stats.device_makespan_seconds)
+        assert stats.wall_seconds > 0
+        assert stats.total_energy_joules > 0
+
+    def test_stats_table_renders(self):
+        engine = ServingEngine(config=_config(), backend="analytical", num_shards=1)
+        stats = engine.serve([AttentionRequest(seq_len=32)]).stats
+        text = stats.render()
+        assert "requests/sec (device)" in text
+        assert "analytical" in text
+
+
+class TestThroughputScaling:
+    def test_batched_multi_shard_beats_sequential_single_shard(self):
+        """The acceptance property, at unit-test scale (see benchmarks too)."""
+        config = _config()
+        requests = [AttentionRequest(seq_len=64) for _ in range(16)]
+        batched = ServingEngine(
+            config=config, backend="analytical", num_shards=4, max_batch_size=4
+        ).serve(requests)
+        sequential = ServingEngine(
+            config=config, backend="analytical", num_shards=1, max_batch_size=1
+        ).serve(requests)
+        assert batched.stats.requests_per_second > sequential.stats.requests_per_second
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(ValueError):
+            ServingEngine(config=_config(), num_shards=0)
