@@ -2,14 +2,17 @@
 
 This package contains the design-time configuration (:mod:`repro.core.config`),
 the microarchitectural building blocks (FIFO K/V buffers, attention cores,
-pipeline stage timing), the cycle-accurate simulator, and the resource and
-power estimators that back Tables 1 and 2 and Figures 3, 8 and 9 of the paper.
+pipeline stage timing), the compiled execution-plan IR (:mod:`repro.core.plan`)
+shared by the scheduler, simulator, serving and GPU layers, the cycle-accurate
+simulator, and the resource and power estimators that back Tables 1 and 2 and
+Figures 3, 8 and 9 of the paper.
 """
 
 from repro.core.config import SWATConfig
 from repro.core.fifo import KVFifoBuffer
 from repro.core.attention_core import AttentionCore, CoreKind
 from repro.core.pipeline import PipelineTiming, SWATPipelineModel
+from repro.core.plan import ExecutionPlan, compile_plan, execute_plan_attention
 from repro.core.scheduler import RowPlan, RowMajorScheduler
 from repro.core.simulator import SimulationResult, SWATSimulator, TimingReport
 from repro.core.functional import swat_functional_attention
@@ -23,6 +26,9 @@ __all__ = [
     "CoreKind",
     "PipelineTiming",
     "SWATPipelineModel",
+    "ExecutionPlan",
+    "compile_plan",
+    "execute_plan_attention",
     "RowPlan",
     "RowMajorScheduler",
     "SimulationResult",

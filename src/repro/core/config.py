@@ -179,6 +179,25 @@ class SWATConfig:
             raise ValueError("seq_len must be positive")
         return tuple(range(min(self.num_global_tokens, seq_len)))
 
+    def schedule_fingerprint(self) -> "tuple[object, ...]":
+        """Hashable fingerprint of every field the row-major schedule depends on.
+
+        Two configs with equal fingerprints produce identical execution plans
+        and identical per-row traffic for every sequence length.  ``head_dim``
+        and the precision enter through ``kv_row_bytes`` (traffic accounting);
+        the window/global/random geometry and the random seed fix the key
+        sets.  Used as the plan-cache key and to validate externally supplied
+        plans against a simulator's config.
+        """
+        return (
+            self.head_dim,
+            self.window_tokens,
+            self.num_global_tokens,
+            self.num_random_tokens,
+            self.random_seed,
+            self.precision.name,
+        )
+
     def with_precision(self, precision: "Precision | str") -> "SWATConfig":
         """Return a copy of this config at a different datapath precision."""
         return replace(self, precision=_resolve_precision(precision))

@@ -36,12 +36,33 @@ class FifoStats:
     total_loads: int = 0
     unique_loads: int = 0
     evictions: int = 0
-    _seen: set = field(default_factory=set, repr=False)
+    _seen: set = field(default_factory=set, repr=False, compare=False)
 
     @property
     def redundant_loads(self) -> int:
         """Rows loaded more than once (0 under the ideal window dataflow)."""
         return self.total_loads - self.unique_loads
+
+    @classmethod
+    def for_streamed_window(cls, seq_len: int, capacity: int) -> "FifoStats":
+        """Counters of streaming keys ``0 .. seq_len-1`` once each through the FIFO.
+
+        This is exactly what the compiled row-major schedule guarantees: the
+        per-row new-window ranges tile ``[0, seq_len)``, so every key is
+        inserted exactly once in ascending order.  The first ``capacity``
+        inserts fill empty slots; every later insert displaces the previous
+        occupant of its modulo slot.  Used by the plan-backed simulator to
+        report the same counters the event-by-event buffer would produce.
+        """
+        if seq_len < 0:
+            raise ValueError(f"seq_len must be non-negative, got {seq_len}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        return cls(
+            total_loads=seq_len,
+            unique_loads=seq_len,
+            evictions=max(0, seq_len - capacity),
+        )
 
 
 class KVFifoBuffer:

@@ -31,10 +31,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
+import numpy as np
+
 from repro.core.config import SWATConfig
 from repro.fpga.hls import operator_latency, pipelined_loop_cycles
 
-__all__ = ["STAGE_NAMES", "PipelineTiming", "SWATPipelineModel"]
+__all__ = ["STAGE_NAMES", "PipelineTiming", "SWATPipelineModel", "cycle_prefix_vector"]
+
+
+def cycle_prefix_vector(depth_cycles: int, initiation_interval: int, num_rows: int) -> "np.ndarray":
+    """Cumulative cycles after each of ``num_rows`` pipelined rows.
+
+    ``prefix[i] = depth + (i - 1) * II`` for ``i >= 1`` and 0 for ``i = 0`` —
+    the single source of the prefix formula shared by
+    :meth:`SWATPipelineModel.cycle_prefix` and
+    :attr:`repro.core.plan.ExecutionPlan.cum_cycles`.
+    """
+    if num_rows < 0:
+        raise ValueError("num_rows must be non-negative")
+    prefix = depth_cycles + np.arange(num_rows + 1, dtype=np.int64) * initiation_interval - (
+        initiation_interval
+    )
+    prefix[0] = 0
+    return prefix
 
 #: Pipeline stages in dataflow order.  ROWSUM1/2 run in parallel with ZRED1/2
 #: but are listed explicitly because Table 1 reports them separately.
@@ -210,6 +229,17 @@ class SWATPipelineModel:
         if num_rows == 0:
             return 0
         return self._timing.pipeline_depth_cycles + (num_rows - 1) * self.initiation_interval
+
+    def cycle_prefix(self, num_rows: int) -> "np.ndarray":
+        """Cumulative cycles after each of ``num_rows`` query rows.
+
+        Entry ``i`` is :meth:`cycles_for_rows` of ``i`` rows (entry 0 is 0) —
+        the prefix-summed cycle vector the compiled execution plan exposes so
+        per-row latency can be read without re-walking the pipeline model.
+        """
+        return cycle_prefix_vector(
+            self._timing.pipeline_depth_cycles, self.initiation_interval, num_rows
+        )
 
     def attention_cycles(self, seq_len: int, num_heads: int = 1) -> int:
         """Cycles for one attention over ``seq_len`` tokens and ``num_heads`` heads.

@@ -6,95 +6,42 @@ attends to (window, global, random), which K/V rows must be freshly loaded
 into which attention-core buffers, and how many bytes of off-chip traffic that
 implies.  It is deliberately independent of both the functional arithmetic and
 the cycle timing so that the three concerns can be tested in isolation.
+
+Since the plan-IR refactor the scheduler is a thin producer over the compiled
+:class:`~repro.core.plan.ExecutionPlan`: construction compiles the whole
+schedule into dense arrays in one vectorized pass, and ``plans()`` /
+:class:`~repro.core.plan.RowPlan` remain as a compatibility view materialised
+from those arrays on demand.  Consumers on the hot path (simulator, serving
+backends, experiments) read :attr:`RowMajorScheduler.plan` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.core.config import SWATConfig
+from repro.core.plan import ExecutionPlan, RowPlan, compile_plan
 
 __all__ = ["RowPlan", "RowMajorScheduler"]
-
-
-@dataclass(frozen=True)
-class RowPlan:
-    """The work of one query row.
-
-    Attributes
-    ----------
-    row:
-        Query row index ``i``.
-    window_keys:
-        Key indices covered by the sliding window for this row.
-    global_keys:
-        Key indices of global tokens (constant across rows).
-    random_keys:
-        Key indices of this row's static random tokens.
-    new_window_keys:
-        Window keys that were not resident in the FIFO before this row and
-        therefore must be loaded during this row's LOAD stage.
-    reloaded_keys:
-        Random keys loaded this row that the dataflow has already fetched
-        (window-resident or global); these are the source of redundant
-        traffic.  Random keys pointing ahead of the window are fetched too
-        (see :attr:`keys_loaded`) but are first-time loads, not reloads.
-    """
-
-    row: int
-    window_keys: "tuple[int, ...]"
-    global_keys: "tuple[int, ...]"
-    random_keys: "tuple[int, ...]"
-    new_window_keys: "tuple[int, ...]"
-    reloaded_keys: "tuple[int, ...]"
-
-    @property
-    def attended_keys(self) -> "tuple[int, ...]":
-        """All keys attended by this row, sorted and de-duplicated."""
-        return tuple(sorted(set(self.window_keys) | set(self.global_keys) | set(self.random_keys)))
-
-    @property
-    def keys_loaded(self) -> "tuple[int, ...]":
-        """Keys whose K/V rows are fetched from off-chip memory this row.
-
-        Every random key is refreshed every row it appears in (whether or not
-        it was fetched before), plus the window keys entering the FIFO.
-        """
-        return tuple(sorted(set(self.new_window_keys) | set(self.random_keys)))
 
 
 class RowMajorScheduler:
     """Generates the per-row plans of the row-major, input-stationary dataflow."""
 
-    def __init__(self, config: SWATConfig, seq_len: int):
+    def __init__(self, config: SWATConfig, seq_len: int, plan: "ExecutionPlan | None" = None):
         if seq_len <= 0:
             raise ValueError(f"seq_len must be positive, got {seq_len}")
         self.config = config
         self.seq_len = seq_len
-        self._global_keys = config.global_token_indices(seq_len)
-        self._random_table = self._build_random_table()
-
-    def _build_random_table(self) -> "dict[int, tuple[int, ...]]":
-        """Static per-row random-attention key indices (design-time parameters)."""
-        config = self.config
-        if not config.has_random_attention:
-            return {}
-        rng = np.random.default_rng(config.random_seed)
-        half_width = config.window_half_width
-        table = {}
-        all_positions = np.arange(self.seq_len)
-        for row in range(self.seq_len):
-            delta = all_positions - row
-            outside_window = all_positions[(delta < -half_width) | (delta >= half_width)]
-            candidates = np.setdiff1d(outside_window, np.asarray(self._global_keys, dtype=int))
-            if candidates.size == 0:
-                table[row] = ()
-                continue
-            count = min(config.num_random_tokens, candidates.size)
-            table[row] = tuple(int(x) for x in np.sort(rng.choice(candidates, count, replace=False)))
-        return table
+        if plan is None:
+            plan = compile_plan(config, seq_len)
+        elif plan.seq_len != seq_len or plan.fingerprint != config.schedule_fingerprint():
+            raise ValueError(
+                f"supplied plan (seq_len={plan.seq_len}, fingerprint={plan.fingerprint}) "
+                f"does not match (seq_len={seq_len}, "
+                f"fingerprint={config.schedule_fingerprint()})"
+            )
+        #: The compiled array-backed schedule every consumer shares.
+        self.plan = plan
+        self._plans: "tuple[RowPlan, ...] | None" = None
 
     def window_keys(self, row: int) -> "tuple[int, ...]":
         """Key indices inside the hardware sliding window of ``row``.
@@ -104,75 +51,48 @@ class RowMajorScheduler:
         2w attention cores and their collision-free modulo FIFO slots.
         """
         self._check_row(row)
-        half_width = self.config.window_half_width
-        lo = max(0, row - half_width)
-        hi = min(self.seq_len, row + half_width)
-        return tuple(range(lo, max(hi, row + 1)))
+        return tuple(range(int(self.plan.window_lo[row]), int(self.plan.window_hi[row])))
 
     def random_keys(self, row: int) -> "tuple[int, ...]":
         """Static random-attention key indices of ``row``."""
         self._check_row(row)
-        return self._random_table.get(row, ())
+        count = int(self.plan.random_counts[row])
+        return tuple(int(key) for key in self.plan.random_keys[row, :count])
 
     @property
     def global_keys(self) -> "tuple[int, ...]":
         """Key indices of the global tokens (pre-loaded once)."""
-        return self._global_keys
+        return self.plan.global_key_tuple
+
+    def plan_view(self) -> "tuple[RowPlan, ...]":
+        """The cached :class:`RowPlan` view of the compiled schedule."""
+        if self._plans is None:
+            self._plans = self.plan.row_plans()
+        return self._plans
 
     def plans(self) -> "list[RowPlan]":
-        """Return the full row-major schedule for the sequence."""
-        resident: "set[int]" = set()
-        plans = []
-        for row in range(self.seq_len):
-            window = self.window_keys(row)
-            new_window = tuple(k for k in window if k not in resident)
-            resident.update(new_window)
-            # Window slots are evicted implicitly by the modulo FIFO policy;
-            # we only track membership of ever-loaded keys, which is what the
-            # exactly-once traffic property is about.
-            random_keys = self.random_keys(row)
-            reloaded = tuple(k for k in random_keys if k in resident or k in self._global_keys)
-            plans.append(
-                RowPlan(
-                    row=row,
-                    window_keys=window,
-                    global_keys=self._global_keys,
-                    random_keys=random_keys,
-                    new_window_keys=new_window,
-                    reloaded_keys=reloaded,
-                )
-            )
-        return plans
+        """Return the full row-major schedule for the sequence.
+
+        Materialised from the compiled plan arrays once and cached; repeated
+        calls return a fresh list over the same immutable :class:`RowPlan`
+        objects.
+        """
+        return list(self.plan_view())
 
     def traffic_bytes(self) -> "dict[str, int]":
         """Off-chip traffic of one attention head under this schedule.
 
         Returns a dict with ``q``, ``k``, ``v``, ``output`` and ``redundant_kv``
-        byte counts.  Every key row streams through the window FIFO exactly
-        once; global rows are additionally pre-loaded into their dedicated
-        cores before the row loop, and random-attention rows are re-fetched
-        every row they appear in.  Each fetch beyond the first of a given key
-        is redundant, so the redundant count is exactly the global pre-loads
-        plus the random refreshes — matching the event-by-event accounting of
+        byte counts, read straight off the compiled plan's prefix sums.  Every
+        key row streams through the window FIFO exactly once; global rows are
+        additionally pre-loaded into their dedicated cores before the row
+        loop, and random-attention rows are re-fetched every row they appear
+        in.  Each fetch beyond the first of a given key is redundant, so the
+        redundant count is exactly the global pre-loads plus the random
+        refreshes — matching the event-by-event accounting of
         :meth:`repro.core.simulator.SWATSimulator.run` field by field.
         """
-        config = self.config
-        row_bytes = config.kv_row_bytes
-        window_rows = self.seq_len  # every key row enters the window once
-        global_preloads = len(self._global_keys)
-        random_fetches = sum(len(self.random_keys(row)) for row in range(self.seq_len))
-        k_bytes = (window_rows + global_preloads + random_fetches) * row_bytes
-        v_bytes = k_bytes
-        redundant = 2 * (global_preloads + random_fetches) * row_bytes
-        q_bytes = self.seq_len * row_bytes
-        output_bytes = self.seq_len * row_bytes
-        return {
-            "q": q_bytes,
-            "k": k_bytes,
-            "v": v_bytes,
-            "output": output_bytes,
-            "redundant_kv": redundant,
-        }
+        return self.plan.traffic_bytes()
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.seq_len:

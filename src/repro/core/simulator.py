@@ -1,24 +1,27 @@
 """Cycle-accurate simulator of the SWAT accelerator.
 
-The simulator combines the three independently-tested models of this package:
+The simulator combines the independently-tested models of this package:
 
-* the **scheduler** (:mod:`repro.core.scheduler`) decides, row by row, which
-  keys are attended and which K/V rows are loaded — the row-major,
-  input-stationary dataflow;
+* the **compiled execution plan** (:mod:`repro.core.plan`) encodes, as dense
+  arrays, which keys every row attends and which K/V rows are loaded — the
+  row-major, input-stationary dataflow (produced by
+  :class:`~repro.core.scheduler.RowMajorScheduler`);
 * the **pipeline model** (:mod:`repro.core.pipeline`) prices each row at the
   stage-level cycle counts of Table 1 and composes them into the end-to-end
   latency;
-* the **FIFO buffer** (:mod:`repro.core.fifo`) enforces the fixed-size
-  eviction policy and records the off-chip traffic actually incurred, so the
-  "every K/V element is loaded exactly once" property is measured rather than
-  assumed.
+* the **FIFO buffer** (:mod:`repro.core.fifo`) models the fixed-size modulo
+  eviction policy; the compiled plan guarantees the "every K/V element is
+  loaded exactly once" property by construction, and the reported
+  :class:`~repro.core.fifo.FifoStats` counters are derived from that
+  guarantee.
 
-Functionally, the simulator executes the fused kernel of
-:mod:`repro.attention.fused` over exactly the keys the hardware would hold in
-its attention cores, and the result is bit-for-bit the same attention output a
-software implementation of window (+ global + random) attention produces —
-which is how the simulator is validated against the dense reference in the
-test-suite.
+Functionally, the simulator computes the fused attention equation over
+exactly the keys the hardware would hold in its attention cores — in row
+chunks read from the compiled plan, via contiguous K/V slab GEMMs plus an
+extras gather (:func:`repro.core.plan.execute_plan_attention`) — and the result is
+bit-for-bit the same attention output a software implementation of window
+(+ global + random) attention produces, which is how the simulator is
+validated against the dense reference in the test-suite.
 
 Two entry points are provided: :meth:`SWATSimulator.run` performs the full
 functional + timing simulation on concrete Q/K/V data, while
@@ -33,13 +36,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attention.fused import fused_row
 from repro.core.config import SWATConfig
-from repro.core.fifo import FifoStats, KVFifoBuffer
+from repro.core.fifo import FifoStats
 from repro.core.pipeline import SWATPipelineModel
+from repro.core.plan import ExecutionPlan, compile_plan, execute_plan_attention
 from repro.core.power import PowerModel
 from repro.core.resources import ResourceEstimate, estimate_resources
-from repro.core.scheduler import RowMajorScheduler
 from repro.fpga.memory import HBMModel, MemoryTrafficSummary
 
 __all__ = ["TimingReport", "SimulationResult", "SWATSimulator"]
@@ -98,7 +100,7 @@ class SimulationResult:
     timing:
         Latency / energy report.
     traffic:
-        Off-chip traffic summary measured from the load/store events.
+        Off-chip traffic summary of the schedule's load/store events.
     fifo_stats:
         Load/eviction counters of the window K/V FIFO.
     resources:
@@ -127,21 +129,19 @@ class SWATSimulator:
         self.power_model = PowerModel(self.config, self.resources)
         #: Optional schedule cache (see :class:`repro.serving.cache.PlanCache`).
         #: Anything with a ``lookup(config, seq_len)`` method returning an
-        #: object with ``scheduler`` and ``plans`` attributes works; ``None``
-        #: rebuilds the row-major schedule on every call (the seed behaviour).
+        #: object with a compiled ``plan`` attribute works; ``None`` recompiles
+        #: the execution plan on every call.
         self.plan_cache = plan_cache
         self.hbm = hbm if hbm is not None else HBMModel(
             bandwidth_gbps=self.config.device.hbm_bandwidth_gbps,
             clock_hz=self.config.clock_hz,
         )
 
-    def _schedule(self, seq_len: int) -> "tuple[RowMajorScheduler, tuple]":
-        """Resolve the row-major schedule, through the plan cache when present."""
+    def resolve_plan(self, seq_len: int) -> ExecutionPlan:
+        """Resolve the compiled execution plan, through the cache when present."""
         if self.plan_cache is not None:
-            entry = self.plan_cache.lookup(self.config, seq_len)
-            return entry.scheduler, entry.plans
-        scheduler = RowMajorScheduler(self.config, seq_len)
-        return scheduler, tuple(scheduler.plans())
+            return self.plan_cache.lookup(self.config, seq_len).plan
+        return compile_plan(self.config, seq_len, pipeline=self.pipeline)
 
     # ------------------------------------------------------------------ #
     # Analytical timing (any sequence length)
@@ -164,9 +164,15 @@ class SWATSimulator:
         )
 
     def estimate_traffic(self, seq_len: int) -> MemoryTrafficSummary:
-        """Analytical off-chip traffic for one head over ``seq_len`` tokens."""
-        scheduler, _ = self._schedule(seq_len)
-        traffic = scheduler.traffic_bytes()
+        """Analytical off-chip traffic for one head over ``seq_len`` tokens.
+
+        Read straight off the compiled plan's prefix sums — no per-row walk.
+        """
+        return self._traffic_summary(self.resolve_plan(seq_len))
+
+    @staticmethod
+    def _traffic_summary(plan: ExecutionPlan) -> MemoryTrafficSummary:
+        traffic = plan.traffic_bytes()
         return MemoryTrafficSummary(
             q_bytes_loaded=traffic["q"],
             k_bytes_loaded=traffic["k"],
@@ -198,8 +204,17 @@ class SWATSimulator:
         v: np.ndarray,
         scale: "float | None" = None,
         num_heads: int = 1,
+        plan: "ExecutionPlan | None" = None,
     ) -> SimulationResult:
         """Simulate one attention head on concrete data.
+
+        The functional output is computed by the chunked plan executor
+        (:func:`repro.core.plan.execute_plan_attention`): consecutive rows
+        attend a contiguous K/V slab, so each chunk is two dense GEMMs with
+        out-of-band scores masked off, plus a small gather for the
+        global/random extras.  Traffic and FIFO counters come from the same
+        plan's prefix sums; the compiled schedule guarantees every key
+        streams through the window FIFO exactly once.
 
         Parameters
         ----------
@@ -211,6 +226,10 @@ class SWATSimulator:
         num_heads:
             Number of identical heads to account for in the timing report
             (the functional output is computed for the data of one head).
+        plan:
+            Optional precompiled execution plan for this shape (callers that
+            already resolved it, e.g. a serving backend, skip the cache
+            lookup).  Must cover exactly ``seq_len`` rows.
         """
         q = np.asarray(q, dtype=np.float64)
         k = np.asarray(k, dtype=np.float64)
@@ -225,83 +244,23 @@ class SWATSimulator:
         if scale is None:
             scale = 1.0 / np.sqrt(self.config.head_dim)
 
-        scheduler, plans = self._schedule(seq_len)
-        window_fifo = KVFifoBuffer(
-            capacity=max(self.config.window_tokens, 1), head_dim=self.config.head_dim
-        )
-
-        # Global-attention cores are pre-loaded before the row loop starts
-        # (Section 4.1: "these buffers are pre-loaded prior to the attention
-        # computation, minimizing performance impact").
-        global_keys = list(scheduler.global_keys)
-        global_k = {key: k[key] for key in global_keys}
-        global_v = {key: v[key] for key in global_keys}
-
-        q_bytes = 0
-        k_bytes = 0
-        v_bytes = 0
-        out_bytes = 0
-        redundant_kv_bytes = 0
-        row_bytes = self.config.kv_row_bytes
-
-        k_bytes += len(global_keys) * row_bytes
-        v_bytes += len(global_keys) * row_bytes
-
-        output = np.empty_like(q)
-        loaded_once: "set[int]" = set(global_keys)
-
-        for plan in plans:
-            # LOAD stage: fetch the window keys not yet resident (at steady
-            # state exactly one per row) and refresh the random cores.
-            for key in plan.new_window_keys:
-                window_fifo.insert(key, k[key], v[key])
-                k_bytes += row_bytes
-                v_bytes += row_bytes
-                if key in loaded_once:
-                    redundant_kv_bytes += 2 * row_bytes
-                loaded_once.add(key)
-            random_keys = list(plan.random_keys)
-            for key in random_keys:
-                k_bytes += row_bytes
-                v_bytes += row_bytes
-                if key in loaded_once or key in plan.window_keys:
-                    redundant_kv_bytes += 2 * row_bytes
-                loaded_once.add(key)
-            q_bytes += row_bytes
-
-            # QK / SV / reductions / DIV&OUT: the fused kernel over exactly
-            # the keys resident in the attention cores.
-            window_keys = [key for key in plan.window_keys]
-            k_window, v_window = window_fifo.gather(window_keys)
-            extra_keys = [key for key in sorted(set(global_keys) | set(random_keys)) if key not in plan.window_keys]
-            if extra_keys:
-                k_extra = np.stack(
-                    [global_k[key] if key in global_k else k[key] for key in extra_keys]
-                )
-                v_extra = np.stack(
-                    [global_v[key] if key in global_v else v[key] for key in extra_keys]
-                )
-                k_rows = np.concatenate([k_window, k_extra], axis=0)
-                v_rows = np.concatenate([v_window, v_extra], axis=0)
-            else:
-                k_rows = k_window
-                v_rows = v_window
-            result = fused_row(q[plan.row], k_rows, v_rows, scale=scale, subtract_max=False)
-            output[plan.row] = result.z
-            out_bytes += row_bytes
+        if plan is None:
+            plan = self.resolve_plan(seq_len)
+        elif plan.seq_len != seq_len or plan.fingerprint != self.config.schedule_fingerprint():
+            raise ValueError(
+                f"supplied plan (seq_len={plan.seq_len}, "
+                f"fingerprint={plan.fingerprint}) does not match this simulator "
+                f"(seq_len={seq_len}, fingerprint={self.config.schedule_fingerprint()})"
+            )
+        output = execute_plan_attention(plan, q, k, v, scale=scale, subtract_max=False)
 
         timing = self.estimate(seq_len, num_heads=num_heads)
-        traffic = MemoryTrafficSummary(
-            q_bytes_loaded=q_bytes,
-            k_bytes_loaded=k_bytes,
-            v_bytes_loaded=v_bytes,
-            output_bytes_stored=out_bytes,
-            redundant_kv_bytes=redundant_kv_bytes,
-        )
         return SimulationResult(
             output=output,
             timing=timing,
-            traffic=traffic,
-            fifo_stats=window_fifo.stats,
+            traffic=self._traffic_summary(plan),
+            fifo_stats=FifoStats.for_streamed_window(
+                seq_len, capacity=max(self.config.window_tokens, 1)
+            ),
             resources=self.resources,
         )

@@ -37,18 +37,25 @@ def run(
     input_lengths: "tuple[int, ...]" = INPUT_LENGTHS,
     window: int = 256,
     head_dim: int = 64,
+    plan_cache=None,
 ) -> Fig3Result:
     """Regenerate Figure 3 for the given input lengths.
 
     ``window`` is the sliding-window half-width ``w`` (2w = 512 by default,
-    the paper's standard configuration).
+    the paper's standard configuration).  All accelerators are priced off one
+    compiled execution plan per (precision, input length): SWAT's latency is
+    each plan's :attr:`~repro.core.plan.ExecutionPlan.total_cycles` at the
+    config clock, and the sliding-chunks GPU model consumes the same plan via
+    :meth:`~repro.gpu.chunked_runner.SlidingChunksAttentionGPU.run_plan`.
+    ``plan_cache`` (optional, e.g. a :class:`repro.serving.cache.PlanCache`)
+    lets repeated sweeps share the compiled shapes.
     """
     dense = DenseAttentionGPU(head_dim=head_dim, precision="fp32")
     chunks = SlidingChunksAttentionGPU(window=window, head_dim=head_dim, precision="fp32")
-    swat_fp16 = SWATSimulator(SWATConfig.longformer(head_dim=head_dim, window_tokens=2 * window))
-    swat_fp32 = SWATSimulator(
-        SWATConfig.fp32_reference(head_dim=head_dim, window_tokens=2 * window)
-    )
+    fp16_config = SWATConfig.longformer(head_dim=head_dim, window_tokens=2 * window)
+    fp32_config = SWATConfig.fp32_reference(head_dim=head_dim, window_tokens=2 * window)
+    swat_fp16 = SWATSimulator(fp16_config, plan_cache=plan_cache)
+    swat_fp32 = SWATSimulator(fp32_config, plan_cache=plan_cache)
 
     latency_ms: "dict[str, list[float]]" = {
         "Dense (GPU|FP32)": [],
@@ -63,14 +70,18 @@ def run(
         "SWAT (FPGA|FP32)": [],
     }
     for seq_len in input_lengths:
+        plan16 = swat_fp16.resolve_plan(seq_len)
+        plan32 = swat_fp32.resolve_plan(seq_len)
         dense_report = dense.run(seq_len)
-        chunks_report = chunks.run(seq_len)
-        swat16_report = swat_fp16.estimate(seq_len)
-        swat32_report = swat_fp32.estimate(seq_len)
+        chunks_report = chunks.run_plan(plan16)
         latency_ms["Dense (GPU|FP32)"].append(dense_report.seconds * 1.0e3)
         latency_ms["Sliding Chunks (GPU|FP32)"].append(chunks_report.seconds * 1.0e3)
-        latency_ms["SWAT (FPGA|FP16)"].append(swat16_report.seconds * 1.0e3)
-        latency_ms["SWAT (FPGA|FP32)"].append(swat32_report.seconds * 1.0e3)
+        latency_ms["SWAT (FPGA|FP16)"].append(
+            plan16.total_cycles * fp16_config.clock_period_s * 1.0e3
+        )
+        latency_ms["SWAT (FPGA|FP32)"].append(
+            plan32.total_cycles * fp32_config.clock_period_s * 1.0e3
+        )
         memory_mb["Dense (GPU|FP32)"].append(dense_report.memory_bytes / 1.0e6)
         memory_mb["Sliding Chunks (GPU|FP32)"].append(chunks_report.memory_bytes / 1.0e6)
         memory_mb["SWAT (FPGA|FP16)"].append(swat_fp16.memory_footprint_bytes(seq_len) / 1.0e6)

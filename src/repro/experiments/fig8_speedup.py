@@ -17,7 +17,7 @@ from repro.analysis.metrics import speedup
 from repro.analysis.report import Table
 from repro.baselines.butterfly_accel import BTF1, BTF2, ButterflyAccelerator, ButterflyModelConfig
 from repro.core.config import SWATConfig
-from repro.core.simulator import SWATSimulator
+from repro.core.plan import compile_plan
 
 __all__ = ["INPUT_LENGTHS", "PAPER_SPEEDUP_AT_4096", "Fig8Result", "run", "main"]
 
@@ -42,14 +42,18 @@ def run(
     input_lengths: "tuple[int, ...]" = INPUT_LENGTHS,
     config: "SWATConfig | None" = None,
     num_layers: int = 6,
+    plan_cache=None,
 ) -> Fig8Result:
     """Regenerate Figure 8.
 
     ``num_layers`` is the depth of the compared model (both accelerators run
     the same model; only the attention mechanism of each layer differs).
+    SWAT's per-layer latency is read off the compiled execution plan of each
+    input length; pass ``plan_cache`` (e.g. a
+    :class:`repro.serving.cache.PlanCache`) to share the compiled shapes
+    across repeated sweeps.
     """
     config = config if config is not None else SWATConfig.longformer()
-    swat = SWATSimulator(config)
     butterfly = ButterflyAccelerator(head_dim=config.head_dim, clock_mhz=config.clock_mhz)
     btf1 = ButterflyModelConfig(name="BTF-1", num_layers=num_layers, num_softmax_layers=1)
     btf2 = ButterflyModelConfig(name="BTF-2", num_layers=num_layers, num_softmax_layers=2)
@@ -57,7 +61,11 @@ def run(
     speedup_vs_btf1 = []
     speedup_vs_btf2 = []
     for seq_len in input_lengths:
-        swat_seconds = swat.estimate(seq_len).seconds * num_layers
+        if plan_cache is not None:
+            plan = plan_cache.lookup(config, seq_len).plan
+        else:
+            plan = compile_plan(config, seq_len)
+        swat_seconds = plan.total_cycles * config.clock_period_s * num_layers
         speedup_vs_btf1.append(speedup(butterfly.run(seq_len, btf1).seconds, swat_seconds))
         speedup_vs_btf2.append(speedup(butterfly.run(seq_len, btf2).seconds, swat_seconds))
 

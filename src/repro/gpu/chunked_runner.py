@@ -57,38 +57,50 @@ class SlidingChunksAttentionGPU:
 
     def run(self, seq_len: int) -> GPUAttentionReport:
         """Model one sliding-chunks attention over ``seq_len`` tokens."""
+        return self._model(seq_len, self.window)
+
+    def run_plan(self, plan) -> GPUAttentionReport:
+        """Model the sliding-chunks execution of a compiled execution plan.
+
+        Consumes the same :class:`~repro.core.plan.ExecutionPlan` IR as the
+        SWAT simulator and serving layers: the plan's sequence length and
+        band width (``2w``) define the chunk grid, so an experiment sweeping
+        both accelerators prices them off one compiled schedule.
+        """
+        return self._model(plan.seq_len, max(1, plan.window_tokens // 2))
+
+    def _model(self, seq_len: int, window: int) -> GPUAttentionReport:
         if seq_len <= 0:
             raise ValueError("seq_len must be positive")
         h = self.head_dim
-        w = self.window
+        w = window
         stats = sliding_chunks_stats(seq_len, w, h)
         num_chunks = max(1, ceil(seq_len / w))
         chunk_rows = min(w, seq_len)
         slab_cols = min(3 * w, seq_len)
 
-        costs = []
         # Per-chunk kernels: the QK matmul over the chunk's slab, the
         # band-masking fix-up of the out-of-band corners (the correctness
         # overhead the paper highlights), and the SV matmul.  These are small
         # kernels issued back to back, paying launch and dispatch per chunk
-        # but not the full-occupancy floor.
+        # but not the full-occupancy floor.  Every chunk is identical, so the
+        # stream collapses into three count-weighted entries — O(1) work per
+        # sweep point instead of O(num_chunks) Python objects.
         chunk_elements = chunk_rows * slab_cols
-        for chunk in range(num_chunks):
-            costs.append(
-                self.kernels.gemm(
-                    chunk_rows, slab_cols, h, name=f"chunk{chunk}_qk", apply_floor=False
-                )
-            )
-            costs.append(
-                self.kernels.elementwise(
-                    chunk_elements, name=f"chunk{chunk}_mask", apply_floor=False
-                )
-            )
-            costs.append(
-                self.kernels.gemm(
-                    chunk_rows, h, slab_cols, name=f"chunk{chunk}_sv", apply_floor=False
-                )
-            )
+        costs = [
+            self.kernels.repeat(
+                self.kernels.gemm(chunk_rows, slab_cols, h, name="chunk_qk", apply_floor=False),
+                num_chunks,
+            ),
+            self.kernels.repeat(
+                self.kernels.elementwise(chunk_elements, name="chunk_mask", apply_floor=False),
+                num_chunks,
+            ),
+            self.kernels.repeat(
+                self.kernels.gemm(chunk_rows, h, slab_cols, name="chunk_sv", apply_floor=False),
+                num_chunks,
+            ),
+        ]
         # Batched softmax over the banded scores and the data-reorganisation
         # copies (pad / roll / transpose bookkeeping of the implementation).
         band_elements = stats.score_elements_computed

@@ -38,8 +38,8 @@ class GPUAttentionReport:
 
     @property
     def kernel_count(self) -> int:
-        """Number of kernel launches in one attention."""
-        return len(self.kernels)
+        """Number of kernel launches in one attention (count-weighted)."""
+        return sum(cost.count for cost in self.kernels)
 
 
 class DenseAttentionGPU:

@@ -36,17 +36,29 @@ class KernelCost:
     name:
         Kernel identifier for reporting.
     flops:
-        Floating-point operations performed.
+        Floating-point operations performed per invocation.
     bytes_moved:
-        Off-chip bytes read plus written.
+        Off-chip bytes read plus written per invocation.
     seconds:
-        Modelled execution time including launch overhead.
+        Modelled execution time of one invocation including launch overhead.
+    count:
+        Number of identical invocations this entry stands for.  A stream of
+        identical small kernels (e.g. the per-chunk GEMMs of sliding-chunks
+        attention) collapses into one count-weighted entry instead of one
+        Python object per launch, which is what keeps long-sequence sweeps
+        tractable.
     """
 
     name: str
     flops: float
     bytes_moved: float
     seconds: float
+    count: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        """Execution time of all ``count`` invocations."""
+        return self.seconds * self.count
 
 
 class GPUKernelModel:
@@ -126,4 +138,17 @@ class GPUKernelModel:
     @staticmethod
     def total_seconds(costs: "list[KernelCost]") -> float:
         """Sum of kernel times (kernels of one attention run back to back)."""
-        return float(sum(cost.seconds for cost in costs))
+        return float(sum(cost.total_seconds for cost in costs))
+
+    @staticmethod
+    def repeat(cost: KernelCost, count: int) -> KernelCost:
+        """Collapse ``count`` identical back-to-back launches into one entry."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return KernelCost(
+            name=cost.name,
+            flops=cost.flops,
+            bytes_moved=cost.bytes_moved,
+            seconds=cost.seconds,
+            count=cost.count * count,
+        )

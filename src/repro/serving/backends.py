@@ -33,9 +33,9 @@ from math import ceil
 
 import numpy as np
 
-from repro.attention.fused import fused_row
 from repro.baselines.dense_fpga import DenseFPGABaseline
 from repro.core.config import SWATConfig
+from repro.core.plan import execute_plan_attention
 from repro.core.pipeline import SWATPipelineModel
 from repro.core.power import PowerModel
 from repro.core.simulator import SWATSimulator
@@ -73,12 +73,17 @@ class BackendResult:
         domain, else ``None``.
     energy_joules:
         Modelled energy of the batch (0 for host-software execution).
+    kv_bytes_moved:
+        Off-chip K/V/Q/output bytes of the batch, read off the execution
+        plans' prefix sums (SWAT backends only; 0 when the backend has no
+        plan-level traffic model).
     """
 
     outputs: "tuple[np.ndarray | None, ...]"
     device_seconds: float
     cycles: "int | None"
     energy_joules: float
+    kv_bytes_moved: int = 0
 
 
 class AttentionBackend(ABC):
@@ -186,17 +191,28 @@ def swat_batch_cycles(pipeline: SWATPipelineModel, batch: "list[AttentionRequest
 
 
 class _SWATBackendBase(AttentionBackend):
-    """Shared SWAT machinery: simulator, batch timing, energy accounting."""
+    """Shared SWAT machinery: simulator, batch timing, traffic and energy."""
 
     def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
         super().__init__(config=config, plan_cache=plan_cache)
-        self.simulator = SWATSimulator(self.config, plan_cache=plan_cache)
+        if self.plan_cache is None:
+            # Every batch resolves one plan per request for execution and
+            # traffic accounting; a private cache keeps repeated shapes from
+            # recompiling even when no pool-wide cache was supplied.
+            self.plan_cache = PlanCache()
+        self.simulator = SWATSimulator(self.config, plan_cache=self.plan_cache)
 
     def _batch_timing(self, batch: "list[AttentionRequest]") -> "tuple[int, float, float]":
         cycles = swat_batch_cycles(self.simulator.pipeline, batch)
         seconds = cycles * self.config.clock_period_s
         energy = self.simulator.power_model.total_power_w * seconds
         return cycles, seconds, energy
+
+    @staticmethod
+    def _plan_traffic(plan, num_heads: int) -> int:
+        """Q/K/V/output bytes of one request, off the plan's prefix sums."""
+        traffic = plan.traffic_bytes()
+        return num_heads * (traffic["q"] + traffic["k"] + traffic["v"] + traffic["output"])
 
 
 @register_backend
@@ -208,14 +224,25 @@ class SimulatorBackend(_SWATBackendBase):
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         outputs: "list[np.ndarray | None]" = []
+        bytes_moved = 0
         for request in batch:
+            # One plan resolution per request: shared by the functional
+            # executor and the traffic accounting.
+            plan = self.simulator.resolve_plan(request.seq_len)
+            bytes_moved += self._plan_traffic(plan, request.num_heads)
             if request.is_functional:
-                outputs.append(self.simulator.run(request.q, request.k, request.v).output)
+                outputs.append(
+                    self.simulator.run(request.q, request.k, request.v, plan=plan).output
+                )
             else:
                 outputs.append(None)
         cycles, seconds, energy = self._batch_timing(batch)
         return BackendResult(
-            outputs=tuple(outputs), device_seconds=seconds, cycles=cycles, energy_joules=energy
+            outputs=tuple(outputs),
+            device_seconds=seconds,
+            cycles=cycles,
+            energy_joules=energy,
+            kv_bytes_moved=bytes_moved,
         )
 
 
@@ -228,20 +255,26 @@ class AnalyticalBackend(_SWATBackendBase):
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         cycles, seconds, energy = self._batch_timing(batch)
+        bytes_moved = sum(
+            self._plan_traffic(self.simulator.resolve_plan(request.seq_len), request.num_heads)
+            for request in batch
+        )
         return BackendResult(
             outputs=(None,) * len(batch),
             device_seconds=seconds,
             cycles=cycles,
             energy_joules=energy,
+            kv_bytes_moved=bytes_moved,
         )
 
 
 @register_backend
 class FusedSoftwareBackend(AttentionBackend):
-    """Host execution of the fused kernel over the hardware's row plans.
+    """Host execution of the fused kernel over the hardware's execution plan.
 
-    Uses the same cached :class:`~repro.core.scheduler.RowMajorScheduler`
-    plans as the simulator, so its outputs are bit-identical to the
+    Runs the same blocked plan executor
+    (:func:`repro.core.plan.execute_plan_attention`) over the same cached
+    compiled plan as the simulator, so its outputs are bit-identical to the
     ``simulator`` backend's, at software speed.  ``device_seconds`` is the
     measured host time (there is no cycle model for the host CPU).
     """
@@ -263,27 +296,11 @@ class FusedSoftwareBackend(AttentionBackend):
                 outputs.append(None)
                 continue
             entry = self.plan_cache.lookup(self.config, request.seq_len)
-            q = np.asarray(request.q, dtype=np.float64)
-            k = np.asarray(request.k, dtype=np.float64)
-            v = np.asarray(request.v, dtype=np.float64)
-            output = np.empty_like(q)
-            for plan in entry.plans:
-                # Same gather order as the attention-core array (window cores
-                # first, then the global/random cores): float accumulation is
-                # order-sensitive, and bit-identity with the simulator backend
-                # is part of this backend's contract.
-                window = set(plan.window_keys)
-                extras = [
-                    key
-                    for key in sorted(set(plan.global_keys) | set(plan.random_keys))
-                    if key not in window
-                ]
-                indices = list(plan.window_keys) + extras
-                result = fused_row(
-                    q[plan.row], k[indices], v[indices], scale=scale, subtract_max=False
+            outputs.append(
+                execute_plan_attention(
+                    entry.plan, request.q, request.k, request.v, scale=scale, subtract_max=False
                 )
-                output[plan.row] = result.z
-            outputs.append(output)
+            )
         elapsed = time.perf_counter() - start
         return BackendResult(
             outputs=tuple(outputs), device_seconds=elapsed, cycles=None, energy_joules=0.0

@@ -1,13 +1,18 @@
 """Plan/schedule cache shared by the serving backends.
 
-Building a :class:`~repro.core.scheduler.RowMajorScheduler` is a per-shape
-cost: the random-attention table alone is ``O(seq_len)`` numpy set operations
-and the row plans are ``O(seq_len * window)`` python work.  The seed simulator
-rebuilt both on every :meth:`~repro.core.simulator.SWATSimulator.run` call,
-which a served system repeating the same shapes millions of times cannot
-afford.  :class:`PlanCache` memoises ``(config fingerprint, seq_len) ->
-(scheduler, plans)`` with an LRU bound, hit/miss/eviction counters and
+Compiling an execution plan is a per-shape cost (one vectorized pass, plus
+the seeded random-table draws for BigBird-style configs).  A served system
+repeating the same shapes millions of times should pay it once:
+:class:`PlanCache` memoises ``(config fingerprint, seq_len) ->``
+:class:`CachedPlan` with an LRU bound, hit/miss/eviction counters and
 thread-safe lookup (shard workers may share one cache across threads).
+
+Since the plan-IR refactor the cache stores the compact compiled
+:class:`~repro.core.plan.ExecutionPlan` arrays — a few dense numpy matrices
+rather than ``seq_len`` tuple-backed ``RowPlan`` objects — so entries are
+smaller and hits hand the simulator something it can execute directly.  The
+legacy ``scheduler`` / ``plans`` views are materialised lazily for consumers
+that still want per-row objects.
 
 The cached schedule is deterministic — the random-attention table is a
 design-time parameter fixed by ``config.random_seed`` — so a cache hit is
@@ -20,8 +25,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.config import SWATConfig
+from repro.core.plan import ExecutionPlan, compile_plan
 from repro.core.scheduler import RowMajorScheduler, RowPlan
 
 __all__ = ["config_fingerprint", "CachedPlan", "PlanCache"]
@@ -30,36 +37,46 @@ __all__ = ["config_fingerprint", "CachedPlan", "PlanCache"]
 def config_fingerprint(config: SWATConfig) -> "tuple[object, ...]":
     """Hashable fingerprint of every config field the schedule depends on.
 
-    Two configs with equal fingerprints produce identical row-major schedules
-    and identical per-row traffic for every sequence length.  ``head_dim`` and
-    the precision enter through ``kv_row_bytes`` (traffic accounting); the
-    window/global/random geometry and the random seed fix the key sets.
+    Thin alias of :meth:`repro.core.config.SWATConfig.schedule_fingerprint`
+    (kept as the serving-layer name for the cache key).
     """
-    return (
-        config.head_dim,
-        config.window_tokens,
-        config.num_global_tokens,
-        config.num_random_tokens,
-        config.random_seed,
-        config.precision.name,
-    )
+    return config.schedule_fingerprint()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CachedPlan:
-    """One cached schedule: the scheduler plus its materialised row plans."""
+    """One cached schedule: the compiled plan plus lazy legacy views."""
 
-    scheduler: RowMajorScheduler
-    plans: "tuple[RowPlan, ...]"
+    config: SWATConfig
+    plan: ExecutionPlan
 
     @property
     def seq_len(self) -> int:
         """Sequence length this schedule covers."""
-        return self.scheduler.seq_len
+        return self.plan.seq_len
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the compiled plan arrays."""
+        return self.plan.nbytes
+
+    @cached_property
+    def scheduler(self) -> RowMajorScheduler:
+        """Scheduler view wrapping the cached plan (built on first access)."""
+        return RowMajorScheduler(self.config, self.plan.seq_len, plan=self.plan)
+
+    @property
+    def plans(self) -> "tuple[RowPlan, ...]":
+        """Per-row :class:`RowPlan` view (materialised on first access).
+
+        Backed by the scheduler view's own cache, so one tuple is retained
+        per entry no matter how it is reached.
+        """
+        return self.scheduler.plan_view()
 
 
 class PlanCache:
-    """LRU cache of row-major schedules keyed by (config fingerprint, seq_len)."""
+    """LRU cache of compiled execution plans keyed by (config fingerprint, seq_len)."""
 
     def __init__(self, max_entries: int = 64):
         if max_entries <= 0:
@@ -81,7 +98,7 @@ class PlanCache:
         return self.hits / total if total else 0.0
 
     def lookup(self, config: SWATConfig, seq_len: int) -> CachedPlan:
-        """Return the schedule for ``(config, seq_len)``, building it on a miss."""
+        """Return the schedule for ``(config, seq_len)``, compiling it on a miss."""
         key = (config_fingerprint(config), seq_len)
         with self._lock:
             entry = self._entries.get(key)
@@ -90,11 +107,10 @@ class PlanCache:
                 self._entries.move_to_end(key)
                 return entry
             self.misses += 1
-        # Build outside the lock: schedule construction is the expensive part
+        # Compile outside the lock: plan compilation is the expensive part
         # and concurrent workers must not serialise on it.  A racing double
         # build is benign (both results are identical); last write wins.
-        scheduler = RowMajorScheduler(config, seq_len)
-        entry = CachedPlan(scheduler=scheduler, plans=tuple(scheduler.plans()))
+        entry = CachedPlan(config=config, plan=compile_plan(config, seq_len))
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
