@@ -1,12 +1,18 @@
 """Benchmark: serving-level throughput — batching, sharding and plan caching.
 
 Unlike the per-attention benchmarks, these track *request-level* speedups: the
-requests/sec of a batched multi-shard pool versus sequential single-shard
-dispatch of the same request set, the batch occupancy the dynamic batcher
-achieves on a mixed-shape arrival mix, and the wall-time saved by the plan
-cache on repeated same-shape requests.
+requests/sec of batch-16 stacked dispatch versus the per-request looped
+baseline it replaced (the batch-axis refactor's acceptance number), of a
+batched multi-shard pool versus sequential single-shard dispatch, the batch
+occupancy the dynamic batcher achieves on a mixed-shape arrival mix, and the
+wall-time saved by the plan cache on repeated same-shape requests.
+
+``SERVING_THROUGHPUT_REQUESTS`` overrides the request count of the
+batched-vs-looped comparison; CI sets a smaller count so the speedup floor
+still gates every PR without paying the full measurement (smoke mode).
 """
 
+import os
 import time
 
 from repro.core.config import SWATConfig
@@ -16,6 +22,14 @@ from repro.serving.cache import PlanCache
 from repro.serving.engine import ServingEngine
 from repro.serving.request import AttentionRequest, make_requests
 from repro.workload.generator import attention_inputs
+
+#: Wall requests/sec floor for batch-16 stacked dispatch over the looped
+#: per-request baseline, on the cycle-accurate backend (acceptance criterion).
+BATCHED_DISPATCH_SPEEDUP_FLOOR = 3.0
+#: Softer floor for the fused host backend: its device clock *is* measured
+#: host time, which is noisier than the simulator's modelled clock on shared
+#: CI runners (locally it also clears 3x).
+FUSED_DISPATCH_SPEEDUP_FLOOR = 2.0
 
 
 def _mixed_requests(count=32):
@@ -31,6 +45,62 @@ def _best_of(fn, rounds=3):
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _best_serve(engine, requests, rounds=3):
+    """Result with the best wall clock over ``rounds`` serves (filters stalls)."""
+    best = None
+    for _ in range(rounds):
+        result = engine.serve(requests)
+        if best is None or result.stats.wall_seconds < best.stats.wall_seconds:
+            best = result
+    return best
+
+
+def test_batched_dispatch_beats_looped_baseline_at_batch_16(benchmark):
+    """The batch-axis acceptance number: stacked dispatch vs per-request loop.
+
+    Short-row traffic is the regime the refactor targets: per-request work is
+    small, so the host-side dispatch the looped baseline pays once per request
+    (batcher flush, shard hop, plan lookup, one executor entry per request)
+    dominates, and folding sixteen requests into one stacked
+    ``PlanBatch`` pass amortises all of it.  Outputs are bit-identical either
+    way (property-tested in ``tests/serving/test_batched_execution.py``);
+    this benchmark records what the fusion buys in requests/sec.
+    """
+    config = SWATConfig(head_dim=64, window_tokens=8)
+    # Rounded down to a multiple of 16 so every dispatched batch is full and
+    # the mean-batch-size assertions below hold for any override value.
+    count = max(16, int(os.environ.get("SERVING_THROUGHPUT_REQUESTS", "128")) // 16 * 16)
+    requests = make_requests([16] * count, config.head_dim, seed=0)
+
+    speedups = {}
+    for backend in ("simulator", "fused"):
+        batched_pool = ServingEngine(
+            config=config, backend=backend, num_shards=1, max_batch_size=16
+        )
+        looped_pool = ServingEngine(
+            config=config, backend=backend, num_shards=1, max_batch_size=1
+        )
+        if backend == "simulator":
+            benchmark(batched_pool.serve, requests)
+        batched = _best_serve(batched_pool, requests)
+        looped = _best_serve(looped_pool, requests)
+        assert all(done.output is not None for done in batched.completed)
+        assert batched.stats.mean_batch_size == 16.0
+        assert looped.stats.mean_batch_size == 1.0
+        speedups[backend] = (
+            batched.stats.wall_requests_per_second / looped.stats.wall_requests_per_second
+        )
+        print(
+            f"\n{backend}: batch-16 {batched.stats.wall_requests_per_second:.0f} req/s "
+            f"vs looped {looped.stats.wall_requests_per_second:.0f} req/s "
+            f"({speedups[backend]:.2f}x)"
+        )
+    # Acceptance property: the stacked dispatch beats the per-request loop
+    # by >= 3x on the cycle-accurate backend at batch 16.
+    assert speedups["simulator"] >= BATCHED_DISPATCH_SPEEDUP_FLOOR
+    assert speedups["fused"] >= FUSED_DISPATCH_SPEEDUP_FLOOR
 
 
 def test_batched_multishard_beats_sequential_single_shard(benchmark):

@@ -258,6 +258,27 @@ class SWATPipelineModel:
         """Wall-clock latency of one attention at the configured clock."""
         return self.attention_cycles(seq_len, num_heads) * self.config.clock_period_s
 
+    def batch_attention_cycles(self, shapes: "list[tuple[int, int]]") -> int:
+        """Cycles for a batch of attentions streamed back to back.
+
+        ``shapes`` holds one ``(seq_len, num_heads)`` pair per attention.
+        Consecutive same-config attentions keep the pipeline primed, so the
+        fill is paid once for the whole batch rather than once per attention:
+        ``fill + (total_rows - 1) * II``, with each attention's heads
+        distributed across the replicated pipelines as in
+        :meth:`attention_cycles`.  This is the batch-amortisation the serving
+        layer's dynamic batching exists to capture.
+        """
+        num_pipelines = self.config.num_pipelines
+        total_rows = 0
+        for seq_len, num_heads in shapes:
+            if seq_len <= 0:
+                raise ValueError("seq_len must be positive")
+            if num_heads <= 0:
+                raise ValueError("num_heads must be positive")
+            total_rows += ceil(num_heads / num_pipelines) * seq_len
+        return self.cycles_for_rows(total_rows)
+
     def stage_utilisation(self) -> "dict[str, float]":
         """Fraction of the initiation interval each stage is busy.
 

@@ -56,6 +56,7 @@ from repro.core.pipeline import SWATPipelineModel, cycle_prefix_vector
 __all__ = [
     "RowPlan",
     "ExecutionPlan",
+    "PlanBatch",
     "compile_plan",
     "execute_plan_attention",
     "execute_plan_attention_rows",
@@ -481,6 +482,69 @@ def compile_plan(
 # ---------------------------------------------------------------------- #
 
 
+def _execute_plan_attention_stacked(
+    plan: ExecutionPlan,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float,
+    subtract_max: bool,
+) -> np.ndarray:
+    """The chunked executor body over ``(G, seq_len, head_dim)`` stacks.
+
+    All ``G`` heads share one schedule, so every chunk turns into *stacked*
+    GEMMs — numpy's batched ``matmul`` runs the identical 2-D kernel per
+    slice, which keeps the result bit-identical to executing each head alone.
+    """
+    seq_len = plan.seq_len
+    window_lo = plan.window_lo
+    window_hi = plan.window_hi
+    have_extras = bool(plan.extra_counts.any())
+    output = np.empty_like(q)
+    for chunk_start in range(0, seq_len, _CHUNK_ROWS):
+        chunk_end = min(chunk_start + _CHUNK_ROWS, seq_len)
+        rows = slice(chunk_start, chunk_end)
+        slab_lo = int(window_lo[chunk_start])
+        slab_hi = int(window_hi[chunk_end - 1])
+        slab_keys = slab_lo + np.arange(slab_hi - slab_lo)
+
+        q_rows = q[:, rows]  # (G, B, H)
+        scores = (q_rows @ np.swapaxes(k[:, slab_lo:slab_hi], -1, -2)) * scale  # (G, B, S)
+        in_band = (slab_keys >= window_lo[rows, None]) & (slab_keys < window_hi[rows, None])
+        scores = np.where(in_band, scores, -np.inf)
+
+        if have_extras:
+            extra_counts = plan.extra_counts[rows]
+            max_extras = int(extra_counts.max())
+            extra_idx = plan.extra_indices[rows, :max_extras]
+            extra_valid = extra_idx >= 0
+            gathered = np.where(extra_valid, extra_idx, 0)
+            k_extra = k[:, gathered]  # (G, B, E, H) — E is small (globals + randoms)
+            v_extra = v[:, gathered]
+            extra_scores = (k_extra @ q_rows[..., None])[..., 0] * scale
+            extra_scores = np.where(extra_valid, extra_scores, -np.inf)
+        else:
+            extra_scores = None
+
+        if subtract_max:
+            row_max = scores.max(axis=-1)
+            if extra_scores is not None and extra_scores.size:
+                row_max = np.maximum(row_max, extra_scores.max(axis=-1))
+            scores = scores - row_max[..., None]
+            if extra_scores is not None:
+                extra_scores = extra_scores - row_max[..., None]
+
+        weights = np.exp(scores)  # exp(-inf) = 0: out-of-band keys drop out
+        row_sums = weights.sum(axis=-1)
+        z_unscaled = weights @ v[:, slab_lo:slab_hi]  # (G, B, H)
+        if extra_scores is not None:
+            extra_weights = np.exp(extra_scores)
+            row_sums = row_sums + extra_weights.sum(axis=-1)
+            z_unscaled = z_unscaled + (extra_weights[..., None, :] @ v_extra)[..., 0, :]
+        output[:, rows] = z_unscaled / row_sums[..., None]
+    return output
+
+
 def execute_plan_attention(
     plan: ExecutionPlan,
     q: np.ndarray,
@@ -500,61 +564,41 @@ def execute_plan_attention(
     gathered, via the plan's compact :attr:`ExecutionPlan.extra_indices`
     matrix.  Chunks are ``_CHUNK_ROWS`` rows, bounding scratch memory for
     arbitrarily long sequences.
+
+    ``q``/``k``/``v`` may carry leading batch axes: ``(seq_len, head_dim)``
+    executes one head, ``(G, seq_len, head_dim)`` a stack of ``G`` heads and
+    ``(B, H, seq_len, head_dim)`` a batch of ``B`` multi-head items, all
+    sharing this plan's schedule.  The stacked shapes vectorize the slab
+    GEMMs and extras gathers over all heads in one pass per chunk and return
+    outputs of the same shape; each head's result is bit-identical to the
+    2-D single-head execution.
     """
     q = np.asarray(q, dtype=np.float64)
     k = np.asarray(k, dtype=np.float64)
     v = np.asarray(v, dtype=np.float64)
-    if q.shape[0] != plan.seq_len:
-        raise ValueError(f"q has {q.shape[0]} rows but the plan covers {plan.seq_len}")
+    if not 2 <= q.ndim <= 4:
+        raise ValueError(f"q must be 2-D, 3-D or 4-D, got {q.ndim}-D")
+    if q.shape != k.shape or k.shape != v.shape:
+        raise ValueError(f"q, k, v shapes must match, got {q.shape}, {k.shape}, {v.shape}")
+    if q.shape[-2] != plan.seq_len:
+        raise ValueError(f"q has {q.shape[-2]} rows but the plan covers {plan.seq_len}")
     if scale is None:
-        scale = 1.0 / np.sqrt(q.shape[1])
+        scale = 1.0 / np.sqrt(q.shape[-1])
 
-    seq_len = plan.seq_len
-    window_lo = plan.window_lo
-    window_hi = plan.window_hi
-    have_extras = bool(plan.extra_counts.any())
-    output = np.empty_like(q)
-    for chunk_start in range(0, seq_len, _CHUNK_ROWS):
-        chunk_end = min(chunk_start + _CHUNK_ROWS, seq_len)
-        rows = slice(chunk_start, chunk_end)
-        slab_lo = int(window_lo[chunk_start])
-        slab_hi = int(window_hi[chunk_end - 1])
-        slab_keys = slab_lo + np.arange(slab_hi - slab_lo)
-
-        scores = (q[rows] @ k[slab_lo:slab_hi].T) * scale  # (B, S)
-        in_band = (slab_keys >= window_lo[rows, None]) & (slab_keys < window_hi[rows, None])
-        scores = np.where(in_band, scores, -np.inf)
-
-        if have_extras:
-            extra_counts = plan.extra_counts[rows]
-            max_extras = int(extra_counts.max())
-            extra_idx = plan.extra_indices[rows, :max_extras]
-            extra_valid = extra_idx >= 0
-            gathered = np.where(extra_valid, extra_idx, 0)
-            k_extra = k[gathered]  # (B, E, H) — E is small (globals + randoms)
-            v_extra = v[gathered]
-            extra_scores = (k_extra @ q[rows][:, :, None])[:, :, 0] * scale
-            extra_scores = np.where(extra_valid, extra_scores, -np.inf)
-        else:
-            extra_scores = None
-
-        if subtract_max:
-            row_max = scores.max(axis=1)
-            if extra_scores is not None and extra_scores.size:
-                row_max = np.maximum(row_max, extra_scores.max(axis=1))
-            scores = scores - row_max[:, None]
-            if extra_scores is not None:
-                extra_scores = extra_scores - row_max[:, None]
-
-        weights = np.exp(scores)  # exp(-inf) = 0: out-of-band keys drop out
-        row_sums = weights.sum(axis=1)
-        z_unscaled = weights @ v[slab_lo:slab_hi]  # (B, H)
-        if extra_scores is not None:
-            extra_weights = np.exp(extra_scores)
-            row_sums = row_sums + extra_weights.sum(axis=1)
-            z_unscaled = z_unscaled + (extra_weights[:, None, :] @ v_extra)[:, 0, :]
-        output[rows] = z_unscaled / row_sums[:, None]
-    return output
+    lead_shape = q.shape[:-2]
+    stacked_shape = (-1,) + q.shape[-2:]
+    # Contiguous operands keep every matmul on the per-slice BLAS kernel;
+    # strided views (e.g. ``np.broadcast_to`` head replication) would fall
+    # back to a differently-rounded loop and break bit-identity.
+    output = _execute_plan_attention_stacked(
+        plan,
+        np.ascontiguousarray(q.reshape(stacked_shape)),
+        np.ascontiguousarray(k.reshape(stacked_shape)),
+        np.ascontiguousarray(v.reshape(stacked_shape)),
+        scale=scale,
+        subtract_max=subtract_max,
+    )
+    return output.reshape(lead_shape + q.shape[-2:])
 
 
 def execute_plan_attention_rows(
@@ -584,6 +628,127 @@ def execute_plan_attention_rows(
         result = fused_row(q[row], k[indices], v[indices], scale=scale, subtract_max=subtract_max)
         output[row] = result.z
     return output
+
+
+# ---------------------------------------------------------------------- #
+# Batched execution
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, eq=False)
+class PlanBatch:
+    """A group of same-``(config, seq_len)`` attentions stacked for one pass.
+
+    Every item of the batch shares one compiled :class:`ExecutionPlan`, so
+    the whole group executes as a single stacked tensor program: the slab
+    GEMMs and extras gathers of :func:`execute_plan_attention` vectorize over
+    the combined head axis ``G = sum(head_counts)`` instead of looping the
+    executor per item.  Items may contribute one head (2-D Q/K/V) or a
+    multi-head stack (``(H, seq_len, head_dim)``); :meth:`split` hands each
+    item its slice of the stacked output back in the shape it supplied.
+
+    Built by :meth:`from_items`, which copies the item tensors into one
+    contiguous ``(G, seq_len, head_dim)`` stack per operand.  Execution is
+    bit-identical to running each item through the executor alone — the
+    contract the serving layer's batched dispatch relies on.
+    """
+
+    plan: ExecutionPlan
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    head_counts: "tuple[int, ...]"
+    squeezed: "tuple[bool, ...]"
+
+    @property
+    def num_items(self) -> int:
+        """Attention computations grouped in this batch."""
+        return len(self.head_counts)
+
+    @property
+    def num_heads(self) -> int:
+        """Total stacked heads ``G`` executed in one pass."""
+        return int(self.q.shape[0])
+
+    @property
+    def seq_len(self) -> int:
+        """Query rows of every item (all items share the plan's shape)."""
+        return self.plan.seq_len
+
+    @classmethod
+    def from_items(
+        cls,
+        plan: ExecutionPlan,
+        items: "list[tuple[np.ndarray, np.ndarray, np.ndarray]]",
+    ) -> "PlanBatch":
+        """Stack ``(q, k, v)`` items covered by ``plan`` into one batch.
+
+        Each item is either ``(seq_len, head_dim)`` (one head) or
+        ``(H, seq_len, head_dim)`` (a head stack); all must match the plan's
+        ``seq_len``.
+        """
+        if not items:
+            raise ValueError("PlanBatch needs at least one item")
+        head_counts: "list[int]" = []
+        squeezed: "list[bool]" = []
+        items = [tuple(np.asarray(operand) for operand in item) for item in items]
+        for q, k, v in items:
+            if q.shape != k.shape or k.shape != v.shape:
+                raise ValueError(f"item shapes must match, got {q.shape}, {k.shape}, {v.shape}")
+            if q.ndim == 2:
+                squeezed.append(True)
+            elif q.ndim == 3:
+                squeezed.append(False)
+            else:
+                raise ValueError(f"items must be 2-D or 3-D, got {q.ndim}-D")
+            if q.shape[-2] != plan.seq_len:
+                raise ValueError(
+                    f"item has {q.shape[-2]} rows but the plan covers {plan.seq_len}"
+                )
+            head_counts.append(1 if q.ndim == 2 else q.shape[0])
+        # One preallocated contiguous stack per operand, filled slice by
+        # slice: no per-item temporaries, and stride-0 items (broadcast head
+        # replication) densify on assignment, so the executor's matmuls stay
+        # on the per-slice BLAS kernel regardless of how callers built items.
+        total = sum(head_counts)
+        stack_shape = (total, plan.seq_len) + items[0][0].shape[-1:]
+        stacks = tuple(np.empty(stack_shape, dtype=np.float64) for _ in range(3))
+        offset = 0
+        for count, item in zip(head_counts, items):
+            for stack, operand in zip(stacks, item):
+                stack[offset : offset + count] = operand
+            offset += count
+        return cls(
+            plan=plan,
+            q=stacks[0],
+            k=stacks[1],
+            v=stacks[2],
+            head_counts=tuple(head_counts),
+            squeezed=tuple(squeezed),
+        )
+
+    def execute(self, scale: "float | None" = None, subtract_max: bool = False) -> np.ndarray:
+        """Run the whole batch in one stacked pass -> ``(G, seq_len, head_dim)``."""
+        return execute_plan_attention(
+            self.plan, self.q, self.k, self.v, scale=scale, subtract_max=subtract_max
+        )
+
+    def split(self, stacked: np.ndarray) -> "tuple[np.ndarray, ...]":
+        """Slice a stacked ``(G, seq_len, head_dim)`` result back per item.
+
+        2-D items get 2-D arrays back; 3-D items their head stacks.
+        """
+        if stacked.shape[0] != self.num_heads:
+            raise ValueError(
+                f"stacked result has {stacked.shape[0]} heads, batch holds {self.num_heads}"
+            )
+        outputs: "list[np.ndarray]" = []
+        offset = 0
+        for count, was_2d in zip(self.head_counts, self.squeezed):
+            item = stacked[offset : offset + count]
+            outputs.append(item[0] if was_2d else item)
+            offset += count
+        return tuple(outputs)
 
 
 # ---------------------------------------------------------------------- #

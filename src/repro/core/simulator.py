@@ -39,12 +39,12 @@ import numpy as np
 from repro.core.config import SWATConfig
 from repro.core.fifo import FifoStats
 from repro.core.pipeline import SWATPipelineModel
-from repro.core.plan import ExecutionPlan, compile_plan, execute_plan_attention
+from repro.core.plan import ExecutionPlan, PlanBatch, compile_plan, execute_plan_attention
 from repro.core.power import PowerModel
 from repro.core.resources import ResourceEstimate, estimate_resources
 from repro.fpga.memory import HBMModel, MemoryTrafficSummary
 
-__all__ = ["TimingReport", "SimulationResult", "SWATSimulator"]
+__all__ = ["TimingReport", "SimulationResult", "BatchSimulationResult", "SWATSimulator"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,37 @@ class SimulationResult:
     traffic: MemoryTrafficSummary
     fifo_stats: FifoStats
     resources: ResourceEstimate
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Everything one batched cycle-accurate dispatch produces.
+
+    Attributes
+    ----------
+    outputs:
+        Per-item attention outputs, each in the shape the item supplied
+        (``(seq_len, head_dim)`` or ``(H, seq_len, head_dim)``).
+    timing:
+        Batch-amortised latency/energy report: the pipeline fill is paid once
+        for the whole batch and ``num_heads`` counts every accounted head.
+    traffic:
+        Off-chip traffic summed over all accounted heads of the batch.
+    fifo_stats:
+        Load/eviction counters of one head's pass through the window FIFO
+        (identical for every head of the shared schedule).
+    resources:
+        Resource estimate of the simulated configuration.
+    head_counts:
+        Accounted heads per item (the timing/traffic weights).
+    """
+
+    outputs: "tuple[np.ndarray, ...]"
+    timing: TimingReport
+    traffic: MemoryTrafficSummary
+    fifo_stats: FifoStats
+    resources: ResourceEstimate
+    head_counts: "tuple[int, ...]"
 
 
 class SWATSimulator:
@@ -263,4 +294,92 @@ class SWATSimulator:
                 seq_len, capacity=max(self.config.window_tokens, 1)
             ),
             resources=self.resources,
+        )
+
+    def run_batch(
+        self,
+        batch: PlanBatch,
+        scale: "float | None" = None,
+        head_counts: "list[int] | None" = None,
+    ) -> BatchSimulationResult:
+        """Simulate a batch of same-shape attentions in one stacked pass.
+
+        The batch's items share one compiled plan, so the functional pass is
+        a single stacked execution (:meth:`repro.core.plan.PlanBatch.execute`)
+        whose per-head results are bit-identical to running :meth:`run` per
+        item.  Timing generalises the per-request model to batches: the
+        items stream back to back through the pipeline, paying the fill once
+        (:meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`),
+        and traffic is one head's plan traffic weighted by the accounted
+        heads.
+
+        Parameters
+        ----------
+        batch:
+            The stacked :class:`~repro.core.plan.PlanBatch` to execute.  Its
+            plan must match this simulator's config.
+        scale:
+            Score scaling factor, default ``1/sqrt(config.head_dim)``.
+        head_counts:
+            Accounted heads per item for the timing/traffic model.  Defaults
+            to the data heads each item stacked; pass larger counts when an
+            item's remaining heads are identical in cost but not executed
+            functionally (the serving layer's ``num_heads`` accounting).
+        """
+        plan = batch.plan
+        if plan.fingerprint != self.config.schedule_fingerprint():
+            raise ValueError(
+                f"batch plan fingerprint {plan.fingerprint} does not match this "
+                f"simulator ({self.config.schedule_fingerprint()})"
+            )
+        if batch.q.shape[-1] != self.config.head_dim:
+            raise ValueError(
+                f"head_dim {batch.q.shape[-1]} does not match config head_dim "
+                f"{self.config.head_dim}"
+            )
+        if head_counts is None:
+            head_counts = list(batch.head_counts)
+        elif len(head_counts) != batch.num_items:
+            raise ValueError(
+                f"head_counts has {len(head_counts)} entries for {batch.num_items} items"
+            )
+        if scale is None:
+            scale = 1.0 / np.sqrt(self.config.head_dim)
+
+        outputs = batch.split(batch.execute(scale=scale, subtract_max=False))
+
+        seq_len = plan.seq_len
+        total_heads = sum(head_counts)
+        cycles = self.pipeline.batch_attention_cycles(
+            [(seq_len, heads) for heads in head_counts]
+        )
+        seconds = cycles * self.config.clock_period_s
+        power = self.power_model.total_power_w
+        timing = TimingReport(
+            seq_len=seq_len,
+            num_heads=total_heads,
+            cycles=cycles,
+            seconds=seconds,
+            initiation_interval=self.pipeline.initiation_interval,
+            stage_cycles=dict(self.pipeline.timing.stage_cycles),
+            power_w=power,
+            energy_joules=power * seconds,
+        )
+        per_head = plan.traffic_bytes()
+        traffic = MemoryTrafficSummary(
+            q_bytes_loaded=per_head["q"] * total_heads,
+            k_bytes_loaded=per_head["k"] * total_heads,
+            v_bytes_loaded=per_head["v"] * total_heads,
+            output_bytes_stored=per_head["output"] * total_heads,
+            redundant_kv_bytes=per_head["redundant_kv"] * total_heads,
+        )
+        return BatchSimulationResult(
+            outputs=outputs,
+            timing=timing,
+            traffic=traffic,
+            fifo_stats=FifoStats.for_streamed_window(
+                seq_len, capacity=max(self.config.window_tokens, 1)
+            ),
+            resources=self.resources,
+            head_counts=tuple(head_counts),
         )

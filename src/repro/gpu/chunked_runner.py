@@ -41,14 +41,21 @@ class SlidingChunksAttentionGPU:
         precision: str = "fp32",
         head_dim: int = 64,
         kernel_model: "GPUKernelModel | None" = None,
+        launch_amortisation: float = 1.0,
     ):
         if window <= 0:
             raise ValueError("window must be positive")
         if head_dim <= 0:
             raise ValueError("head_dim must be positive")
+        if not 0.0 <= launch_amortisation <= 1.0:
+            raise ValueError(f"launch_amortisation must be in [0, 1], got {launch_amortisation}")
         self.window = window
         self.device = device
         self.head_dim = head_dim
+        #: How much of the per-kernel launch cost batching hides: the chunk
+        #: grid stays, but the batch/head axes of every chunk kernel fold
+        #: into its problem size (see :meth:`GPUKernelModel.batched`).
+        self.launch_amortisation = launch_amortisation
         self.kernels = kernel_model if kernel_model is not None else GPUKernelModel(
             device=device,
             precision=precision,
@@ -58,6 +65,16 @@ class SlidingChunksAttentionGPU:
     def run(self, seq_len: int) -> GPUAttentionReport:
         """Model one sliding-chunks attention over ``seq_len`` tokens."""
         return self._model(seq_len, self.window)
+
+    def run_batch(self, seq_len: int, items: int = 1) -> GPUAttentionReport:
+        """Model ``items`` sliding-chunks attentions batched per chunk kernel.
+
+        Batching does not change the chunk grid — the stream still issues one
+        kernel group per chunk — but each chunk kernel's batch axis covers
+        all ``items`` instances, so its arithmetic scales while the launches
+        are shared according to :attr:`launch_amortisation`.
+        """
+        return self._model(seq_len, self.window, items=items)
 
     def run_plan(self, plan) -> GPUAttentionReport:
         """Model the sliding-chunks execution of a compiled execution plan.
@@ -69,9 +86,11 @@ class SlidingChunksAttentionGPU:
         """
         return self._model(plan.seq_len, max(1, plan.window_tokens // 2))
 
-    def _model(self, seq_len: int, window: int) -> GPUAttentionReport:
+    def _model(self, seq_len: int, window: int, items: int = 1) -> GPUAttentionReport:
         if seq_len <= 0:
             raise ValueError("seq_len must be positive")
+        if items <= 0:
+            raise ValueError("items must be positive")
         h = self.head_dim
         w = window
         stats = sliding_chunks_stats(seq_len, w, h)
@@ -108,9 +127,10 @@ class SlidingChunksAttentionGPU:
         costs.append(
             self.kernels.elementwise(band_elements, passes=CHUNK_COPY_PASSES, name="chunk_copies")
         )
+        costs = [self.kernels.batched(cost, items, self.launch_amortisation) for cost in costs]
 
         seconds = self.kernels.total_seconds(costs)
-        memory = sliding_chunks_memory_bytes(seq_len, w, h, self.kernels.element_bytes)
+        memory = items * sliding_chunks_memory_bytes(seq_len, w, h, self.kernels.element_bytes)
         return GPUAttentionReport(
             seq_len=seq_len,
             head_dim=h,
@@ -118,6 +138,7 @@ class SlidingChunksAttentionGPU:
             memory_bytes=memory,
             energy_joules=self.device.board_power_w * seconds,
             kernels=tuple(costs),
+            items=items,
         )
 
     def latency_seconds(self, seq_len: int) -> float:

@@ -152,3 +152,43 @@ class GPUKernelModel:
             seconds=cost.seconds,
             count=cost.count * count,
         )
+
+    def batched(self, cost: KernelCost, items: int, launch_amortisation: float = 1.0) -> KernelCost:
+        """Re-price ``items`` identical attention instances as batched launches.
+
+        Batching folds the batch/head axes into the kernel's problem size, so
+        the arithmetic and traffic scale with ``items`` while the fixed
+        launch cost does not have to: ``launch_amortisation`` is the knob
+        between the looped baseline and perfect batching.
+
+        * ``1.0`` (default): all ``items`` instances ride one launch per
+          kernel — the launch overhead of :attr:`KernelCost.seconds` is paid
+          once per invocation of the stream.
+        * ``0.0``: one launch per instance — ``items`` times the original
+          cost, exactly the per-request looped dispatch.
+        * values in between interpolate the launch count linearly (a batch
+          that still splits into several grid launches).
+
+        The occupancy floor of the original kernel stays inside the
+        per-instance body: small batched kernels grow their problem size, so
+        their body time already reflects the better occupancy through the
+        ``items`` multiplier.
+        """
+        if items <= 0:
+            raise ValueError(f"items must be positive, got {items}")
+        if not 0.0 <= launch_amortisation <= 1.0:
+            raise ValueError(
+                f"launch_amortisation must be in [0, 1], got {launch_amortisation}"
+            )
+        if items == 1:
+            return cost
+        launch = self.device.kernel_launch_overhead_s
+        body = cost.seconds - launch
+        launches = 1.0 + (items - 1) * (1.0 - launch_amortisation)
+        return KernelCost(
+            name=cost.name,
+            flops=cost.flops * items,
+            bytes_moved=cost.bytes_moved * items,
+            seconds=body * items + launch * launches,
+            count=cost.count,
+        )

@@ -18,24 +18,36 @@ engine, the demo CLI and the benchmarks select execution paths with a string:
 ``dense-fpga``
     The dense-attention FPGA baseline of :mod:`repro.baselines.dense_fpga`.
 
-SWAT backends amortise the pipeline fill across a batch: rows of consecutive
-same-config requests stream back to back, so a batch of ``n`` requests costs
-``fill + (total_rows - 1) * II`` cycles instead of ``n`` separate fills — the
-modelled benefit dynamic batching exists to capture.
+Execution is batched along two axes.  Timing-wise, SWAT backends amortise the
+pipeline fill across a batch: rows of consecutive same-config requests stream
+back to back, so a batch of ``n`` requests costs ``fill + (total_rows - 1) *
+II`` cycles instead of ``n`` separate fills.  Functionally, the batch is
+partitioned into ``(config, seq_len)`` groups and every group executes as ONE
+stacked tensor program (:class:`repro.core.plan.PlanBatch`) — the slab GEMMs
+and extras gathers vectorize over all ``B x H`` stacked heads instead of
+looping the executor per request, with per-head results bit-identical to the
+per-request dispatch they replace.  The GPU backends batch the same way on
+the pricing side: one :meth:`run_batch` report per distinct ``seq_len``,
+with the launch-amortisation knob of :mod:`repro.gpu` deciding how much of
+the per-kernel launch cost the batch hides.
+
+Every :class:`BackendResult` carries ``head_rows`` — the accounted
+``num_heads * seq_len`` units of the batch — so per-head accounting is
+comparable across all backends regardless of their clock domain.
 """
 
 from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
-from math import ceil
 
 import numpy as np
 
 from repro.baselines.dense_fpga import DenseFPGABaseline
 from repro.core.config import SWATConfig
-from repro.core.plan import execute_plan_attention
+from repro.core.plan import PlanBatch
 from repro.core.pipeline import SWATPipelineModel
 from repro.core.power import PowerModel
 from repro.core.simulator import SWATSimulator
@@ -53,6 +65,8 @@ __all__ = [
     "create_backend",
     "available_backends",
     "swat_batch_cycles",
+    "batch_head_rows",
+    "seq_len_groups",
 ]
 
 
@@ -77,6 +91,10 @@ class BackendResult:
         Off-chip K/V/Q/output bytes of the batch, read off the execution
         plans' prefix sums (SWAT backends only; 0 when the backend has no
         plan-level traffic model).
+    head_rows:
+        Accounted ``num_heads * seq_len`` units summed over the batch — the
+        backend-independent work measure every backend must agree on for the
+        same batch (per-head accounting consistency).
     """
 
     outputs: "tuple[np.ndarray | None, ...]"
@@ -84,6 +102,7 @@ class BackendResult:
     cycles: "int | None"
     energy_joules: float
     kv_bytes_moved: int = 0
+    head_rows: int = 0
 
 
 class AttentionBackend(ABC):
@@ -177,17 +196,40 @@ def available_backends() -> "tuple[str, ...]":
 def swat_batch_cycles(pipeline: SWATPipelineModel, batch: "list[AttentionRequest]") -> int:
     """Cycles for a batch of attentions streamed back to back on one SWAT.
 
-    Consecutive same-config requests keep the pipeline primed, so the fill is
-    paid once per dispatch rather than once per request:
-    ``fill + (total_rows - 1) * II``.  Heads are distributed across the
-    replicated pipelines exactly as in
-    :meth:`~repro.core.pipeline.SWATPipelineModel.attention_cycles`.
+    Thin request-level wrapper of
+    :meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`:
+    the fill is paid once per dispatch rather than once per request
+    (``fill + (total_rows - 1) * II``), with each request's heads distributed
+    across the replicated pipelines.
     """
-    num_pipelines = pipeline.config.num_pipelines
-    total_rows = sum(
-        ceil(request.num_heads / num_pipelines) * request.seq_len for request in batch
+    return pipeline.batch_attention_cycles(
+        [(request.seq_len, request.num_heads) for request in batch]
     )
-    return pipeline.cycles_for_rows(total_rows)
+
+
+def batch_head_rows(batch: "list[AttentionRequest]") -> int:
+    """Accounted ``num_heads * seq_len`` units of a batch.
+
+    The backend-independent work measure: every backend's
+    :class:`BackendResult` must report exactly this value for the same batch.
+    """
+    return sum(request.num_heads * request.seq_len for request in batch)
+
+
+def seq_len_groups(
+    batch: "list[AttentionRequest]",
+) -> "OrderedDict[int, list[tuple[int, AttentionRequest]]]":
+    """Partition a dispatch batch into same-``seq_len`` groups.
+
+    Returns ``seq_len -> [(batch_index, request), ...]`` in first-seen order.
+    The dynamic batcher buckets by power-of-two, so one dispatch may mix
+    nearby sequence lengths — each exact shape shares one compiled plan and
+    executes as one stacked :class:`~repro.core.plan.PlanBatch` pass.
+    """
+    groups: "OrderedDict[int, list[tuple[int, AttentionRequest]]]" = OrderedDict()
+    for index, request in enumerate(batch):
+        groups.setdefault(request.seq_len, []).append((index, request))
+    return groups
 
 
 class _SWATBackendBase(AttentionBackend):
@@ -210,32 +252,56 @@ class _SWATBackendBase(AttentionBackend):
 
     @staticmethod
     def _plan_traffic(plan, num_heads: int) -> int:
-        """Q/K/V/output bytes of one request, off the plan's prefix sums."""
+        """Q/K/V/output bytes of ``num_heads`` heads, off the plan's prefix sums."""
         traffic = plan.traffic_bytes()
         return num_heads * (traffic["q"] + traffic["k"] + traffic["v"] + traffic["output"])
+
+    def _batch_traffic(self, batch: "list[AttentionRequest]") -> int:
+        """Batch traffic: one plan resolution per distinct shape, not per request."""
+        return sum(
+            self._plan_traffic(
+                self.simulator.resolve_plan(seq_len),
+                sum(request.num_heads for _, request in members),
+            )
+            for seq_len, members in seq_len_groups(batch).items()
+        )
 
 
 @register_backend
 class SimulatorBackend(_SWATBackendBase):
-    """Cycle-accurate SWAT: functional outputs plus batch-amortised timing."""
+    """Cycle-accurate SWAT: functional outputs plus batch-amortised timing.
+
+    Functional execution is batched per ``(config, seq_len)`` group: every
+    functional request of a group stacks its data heads onto the group's
+    compiled plan and one :meth:`~repro.core.plan.PlanBatch.execute` pass
+    runs the whole stack, bit-identical per head to the per-request
+    :meth:`~repro.core.simulator.SWATSimulator.run` loop it replaced.
+    Timing/traffic come from the batch-level accounting below (the whole
+    dispatch streams back to back, one pipeline fill across all groups), not
+    from per-group :meth:`~repro.core.simulator.SWATSimulator.run_batch`
+    reports.
+    """
 
     name = "simulator"
     functional = True
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
-        outputs: "list[np.ndarray | None]" = []
+        outputs: "list[np.ndarray | None]" = [None] * len(batch)
         bytes_moved = 0
-        for request in batch:
-            # One plan resolution per request: shared by the functional
-            # executor and the traffic accounting.
-            plan = self.simulator.resolve_plan(request.seq_len)
-            bytes_moved += self._plan_traffic(plan, request.num_heads)
-            if request.is_functional:
-                outputs.append(
-                    self.simulator.run(request.q, request.k, request.v, plan=plan).output
-                )
-            else:
-                outputs.append(None)
+        for seq_len, members in seq_len_groups(batch).items():
+            plan = self.simulator.resolve_plan(seq_len)
+            bytes_moved += self._plan_traffic(
+                plan, sum(request.num_heads for _, request in members)
+            )
+            functional = [(index, request) for index, request in members if request.is_functional]
+            if not functional:
+                continue
+            plan_batch = PlanBatch.from_items(
+                plan, [(request.q, request.k, request.v) for _, request in functional]
+            )
+            stacked = plan_batch.execute(scale=1.0 / np.sqrt(self.config.head_dim))
+            for (index, _), output in zip(functional, plan_batch.split(stacked)):
+                outputs[index] = output
         cycles, seconds, energy = self._batch_timing(batch)
         return BackendResult(
             outputs=tuple(outputs),
@@ -243,6 +309,7 @@ class SimulatorBackend(_SWATBackendBase):
             cycles=cycles,
             energy_joules=energy,
             kv_bytes_moved=bytes_moved,
+            head_rows=batch_head_rows(batch),
         )
 
 
@@ -255,16 +322,13 @@ class AnalyticalBackend(_SWATBackendBase):
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         cycles, seconds, energy = self._batch_timing(batch)
-        bytes_moved = sum(
-            self._plan_traffic(self.simulator.resolve_plan(request.seq_len), request.num_heads)
-            for request in batch
-        )
         return BackendResult(
             outputs=(None,) * len(batch),
             device_seconds=seconds,
             cycles=cycles,
             energy_joules=energy,
-            kv_bytes_moved=bytes_moved,
+            kv_bytes_moved=self._batch_traffic(batch),
+            head_rows=batch_head_rows(batch),
         )
 
 
@@ -272,11 +336,19 @@ class AnalyticalBackend(_SWATBackendBase):
 class FusedSoftwareBackend(AttentionBackend):
     """Host execution of the fused kernel over the hardware's execution plan.
 
-    Runs the same blocked plan executor
-    (:func:`repro.core.plan.execute_plan_attention`) over the same cached
-    compiled plan as the simulator, so its outputs are bit-identical to the
-    ``simulator`` backend's, at software speed.  ``device_seconds`` is the
-    measured host time (there is no cycle model for the host CPU).
+    Runs the same stacked plan executor
+    (:meth:`repro.core.plan.PlanBatch.execute`) over the same cached compiled
+    plan as the simulator — one batched pass per ``(config, seq_len)`` group
+    — so its outputs are bit-identical to the ``simulator`` backend's, at
+    software speed.  ``device_seconds`` is the measured host time (there is
+    no cycle model for the host CPU).
+
+    Per-head accounting: a request declaring ``num_heads`` with single-head
+    data has its head *executed* ``num_heads`` times in the stack (the heads
+    are identical, so one head's output is returned), which makes the
+    measured host time scale with the declared heads exactly as the modelled
+    backends' clock domains do — ``head_rows`` means the same work on every
+    backend.
     """
 
     name = "fused"
@@ -289,44 +361,90 @@ class FusedSoftwareBackend(AttentionBackend):
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         start = time.perf_counter()
-        outputs: "list[np.ndarray | None]" = []
+        outputs: "list[np.ndarray | None]" = [None] * len(batch)
         scale = 1.0 / np.sqrt(self.config.head_dim)
-        for request in batch:
-            if not request.is_functional:
-                outputs.append(None)
+        for seq_len, members in seq_len_groups(batch).items():
+            functional = [(index, request) for index, request in members if request.is_functional]
+            if not functional:
                 continue
-            entry = self.plan_cache.lookup(self.config, request.seq_len)
-            outputs.append(
-                execute_plan_attention(
-                    entry.plan, request.q, request.k, request.v, scale=scale, subtract_max=False
-                )
-            )
+            plan = self.plan_cache.plan(self.config, seq_len)
+            items = []
+            replicated = []
+            for _, request in functional:
+                if request.q.ndim == 2 and request.num_heads > 1:
+                    # Execute every accounted head: identical data, real work,
+                    # so the measured time covers num_heads heads.
+                    head_shape = (request.num_heads,) + request.q.shape
+                    items.append(
+                        (
+                            np.broadcast_to(request.q, head_shape),
+                            np.broadcast_to(request.k, head_shape),
+                            np.broadcast_to(request.v, head_shape),
+                        )
+                    )
+                    replicated.append(True)
+                else:
+                    items.append((request.q, request.k, request.v))
+                    replicated.append(False)
+            plan_batch = PlanBatch.from_items(plan, items)
+            stacked = plan_batch.execute(scale=scale, subtract_max=False)
+            for (index, _), output, was_replicated in zip(
+                functional, plan_batch.split(stacked), replicated
+            ):
+                outputs[index] = output[0] if was_replicated else output
         elapsed = time.perf_counter() - start
         return BackendResult(
-            outputs=tuple(outputs), device_seconds=elapsed, cycles=None, energy_joules=0.0
+            outputs=tuple(outputs),
+            device_seconds=elapsed,
+            cycles=None,
+            energy_joules=0.0,
+            head_rows=batch_head_rows(batch),
         )
 
 
 class _GPUBackendBase(AttentionBackend):
-    """Shared GPU accounting: per-request reports summed over the batch.
+    """Shared GPU accounting: one batched report per distinct shape.
 
-    The GPU models have no cross-request pipeline to amortise — every request
-    pays its own kernel-launch floors — which is exactly the contrast with the
-    SWAT backends the serving benchmarks surface.
+    A batch is priced per distinct ``seq_len``: the group's ``B x H``
+    instances fold into one batched kernel stream
+    (:meth:`~repro.gpu.dense_runner.DenseAttentionGPU.run_batch`), so the
+    runner is invoked once per shape — the report is deterministic per shape,
+    never recomputed within a batch.  How much of the per-kernel launch cost
+    the batch hides is the runner's ``launch_amortisation`` knob:
+    at ``0.0`` this reprices exactly the looped per-request dispatch, the
+    contrast with the fill-once SWAT pipeline the serving benchmarks surface.
     """
 
-    def _runner_run(self, seq_len: int):
+    #: The runner's launch-amortisation knob (see :meth:`GPUKernelModel.batched`).
+    launch_amortisation: float = 1.0
+
+    def __init__(
+        self,
+        config: "SWATConfig | None" = None,
+        plan_cache: "PlanCache | None" = None,
+        launch_amortisation: "float | None" = None,
+    ):
+        super().__init__(config=config, plan_cache=plan_cache)
+        if launch_amortisation is not None:
+            self.launch_amortisation = launch_amortisation
+
+    def _runner_run_batch(self, seq_len: int, items: int):
         raise NotImplementedError
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         seconds = 0.0
         energy = 0.0
-        for request in batch:
-            report = self._runner_run(request.seq_len)
-            seconds += report.seconds * request.num_heads
-            energy += report.energy_joules * request.num_heads
+        for seq_len, members in seq_len_groups(batch).items():
+            items = sum(request.num_heads for _, request in members)
+            report = self._runner_run_batch(seq_len, items)
+            seconds += report.seconds
+            energy += report.energy_joules
         return BackendResult(
-            outputs=(None,) * len(batch), device_seconds=seconds, cycles=None, energy_joules=energy
+            outputs=(None,) * len(batch),
+            device_seconds=seconds,
+            cycles=None,
+            energy_joules=energy,
+            head_rows=batch_head_rows(batch),
         )
 
 
@@ -337,14 +455,23 @@ class GPUDenseBackend(_GPUBackendBase):
     name = "gpu-dense"
     functional = False
 
-    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
-        super().__init__(config=config, plan_cache=plan_cache)
+    def __init__(
+        self,
+        config: "SWATConfig | None" = None,
+        plan_cache: "PlanCache | None" = None,
+        launch_amortisation: "float | None" = None,
+    ):
+        super().__init__(
+            config=config, plan_cache=plan_cache, launch_amortisation=launch_amortisation
+        )
         self.runner = DenseAttentionGPU(
-            precision=self.config.precision.name, head_dim=self.config.head_dim
+            precision=self.config.precision.name,
+            head_dim=self.config.head_dim,
+            launch_amortisation=self.launch_amortisation,
         )
 
-    def _runner_run(self, seq_len: int):
-        return self.runner.run(seq_len)
+    def _runner_run_batch(self, seq_len: int, items: int):
+        return self.runner.run_batch(seq_len, items=items)
 
 
 @register_backend
@@ -354,16 +481,24 @@ class GPUChunkedBackend(_GPUBackendBase):
     name = "gpu-chunked"
     functional = False
 
-    def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
-        super().__init__(config=config, plan_cache=plan_cache)
+    def __init__(
+        self,
+        config: "SWATConfig | None" = None,
+        plan_cache: "PlanCache | None" = None,
+        launch_amortisation: "float | None" = None,
+    ):
+        super().__init__(
+            config=config, plan_cache=plan_cache, launch_amortisation=launch_amortisation
+        )
         self.runner = SlidingChunksAttentionGPU(
             window=self.config.window_half_width,
             precision=self.config.precision.name,
             head_dim=self.config.head_dim,
+            launch_amortisation=self.launch_amortisation,
         )
 
-    def _runner_run(self, seq_len: int):
-        return self.runner.run(seq_len)
+    def _runner_run_batch(self, seq_len: int, items: int):
+        return self.runner.run_batch(seq_len, items=items)
 
 
 @register_backend
@@ -380,12 +515,20 @@ class DenseFPGABackend(AttentionBackend):
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         cycles = 0
+        # The baseline report is deterministic per shape: price each distinct
+        # (seq_len, num_heads) once and weight by its request count.
+        reports: "dict[tuple[int, int], int]" = {}
         for request in batch:
-            cycles += self.baseline.run(request.seq_len, num_heads=request.num_heads).cycles
+            key = (request.seq_len, request.num_heads)
+            if key not in reports:
+                report = self.baseline.run(request.seq_len, num_heads=request.num_heads)
+                reports[key] = report.cycles
+            cycles += reports[key]
         seconds = cycles * self.config.clock_period_s
         return BackendResult(
             outputs=(None,) * len(batch),
             device_seconds=seconds,
             cycles=cycles,
             energy_joules=self.power_model.total_power_w * seconds,
+            head_rows=batch_head_rows(batch),
         )

@@ -97,6 +97,16 @@ class PlanCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def plan(self, config: SWATConfig, seq_len: int) -> ExecutionPlan:
+        """Return the compiled :class:`ExecutionPlan` for ``(config, seq_len)``.
+
+        The batched dispatch path resolves exactly one plan per
+        ``(config, seq_len)`` group of a dispatch and stacks every head of
+        the group onto it (:class:`repro.core.plan.PlanBatch`); this helper
+        is that path's entry point — one lookup per group, not per request.
+        """
+        return self.lookup(config, seq_len).plan
+
     def lookup(self, config: SWATConfig, seq_len: int) -> CachedPlan:
         """Return the schedule for ``(config, seq_len)``, compiling it on a miss."""
         key = (config_fingerprint(config), seq_len)

@@ -5,9 +5,11 @@ The engine turns the one-shot simulator into a served system.  Clients submit
 :class:`~repro.serving.batcher.DynamicBatcher` groups compatible requests;
 full batches are dispatched to the least-loaded of ``num_shards`` accelerator
 instances, each a private :class:`~repro.serving.backends.AttentionBackend`
-draining its own queue.  All shards share one
-:class:`~repro.serving.cache.PlanCache`, so a schedule is built once per shape
-for the whole pool.
+draining its own queue.  A dispatched batch executes as stacked tensor
+programs — one :class:`~repro.core.plan.PlanBatch` pass per ``(config,
+seq_len)`` group, never a per-request executor loop — and all shards share
+one :class:`~repro.serving.cache.PlanCache`, so a schedule is built once per
+shape for the whole pool.
 
 Two clocks are kept: the *device* clock (modelled accelerator busy time per
 shard — shards run in parallel, so the pool finishes at the busiest shard's
@@ -119,6 +121,7 @@ class ServingEngine:
                         total_rows=batch.total_rows,
                         device_seconds=result.device_seconds,
                         energy_joules=result.energy_joules,
+                        head_rows=result.head_rows,
                     )
                 )
                 for request, output in zip(batch.requests, result.outputs):
@@ -170,6 +173,7 @@ class ServingEngine:
             wall_seconds=wall_seconds,
             cache_hits=cache_after["hits"] - cache_before["hits"],
             cache_misses=cache_after["misses"] - cache_before["misses"],
+            total_head_rows=sum(record.head_rows for record in records),
         )
         return ServingResult(
             completed=completed,

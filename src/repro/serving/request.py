@@ -5,6 +5,13 @@ served: either a *functional* request carrying concrete Q/K/V data (the
 backend returns the attention output) or an *analytical* request carrying
 only a sequence length (the backend returns timing/energy accounting, the
 mode used by capacity planning and the latency benchmarks).
+
+Functional data may be a single head (``(seq_len, head_dim)``) or a stack of
+``num_heads`` distinct heads (``(num_heads, seq_len, head_dim)``).  Either
+way the batched execution path stacks all heads of a dispatch into one
+``(G, seq_len, head_dim)`` tensor program per ``(config, seq_len)`` group
+(:class:`repro.core.plan.PlanBatch`), so requests are units of accounting,
+not units of execution.
 """
 
 from __future__ import annotations
@@ -30,11 +37,15 @@ class AttentionRequest:
     seq_len:
         Number of query/key rows.
     q, k, v:
-        Optional concrete inputs of shape ``(seq_len, head_dim)``.  When
-        ``None`` the request is analytical: it is priced by the backend's
-        timing model but produces no functional output.
+        Optional concrete inputs, either ``(seq_len, head_dim)`` (one head)
+        or ``(num_heads, seq_len, head_dim)`` (a stack of distinct heads).
+        When ``None`` the request is analytical: it is priced by the
+        backend's timing model but produces no functional output.
     num_heads:
-        Identical heads to account for in the timing model.
+        Heads to account for in the timing model.  With 2-D data the
+        remaining ``num_heads - 1`` heads are identical in cost but carry no
+        data; with 3-D data the stack depth must equal ``num_heads``
+        (``num_heads`` left at 1 adopts the stack depth).
     request_id:
         Monotonically increasing identifier (assigned automatically).
     """
@@ -54,15 +65,36 @@ class AttentionRequest:
         provided = [x is not None for x in (self.q, self.k, self.v)]
         if any(provided) and not all(provided):
             raise ValueError("q, k, v must be provided together or not at all")
-        if self.is_functional and self.q.shape[0] != self.seq_len:
-            raise ValueError(
-                f"q has {self.q.shape[0]} rows but request declares seq_len={self.seq_len}"
-            )
+        if self.is_functional:
+            if self.q.ndim not in (2, 3):
+                raise ValueError(f"q must be 2-D or 3-D, got {self.q.ndim}-D")
+            if self.q.shape[-2] != self.seq_len:
+                raise ValueError(
+                    f"q has {self.q.shape[-2]} rows but request declares seq_len={self.seq_len}"
+                )
+            if self.q.ndim == 3:
+                stack_depth = self.q.shape[0]
+                if stack_depth == 0:
+                    raise ValueError("a 3-D head stack must hold at least one head")
+                if self.num_heads == 1:
+                    self.num_heads = stack_depth
+                elif self.num_heads != stack_depth:
+                    raise ValueError(
+                        f"q stacks {stack_depth} heads but request declares "
+                        f"num_heads={self.num_heads}"
+                    )
 
     @property
     def is_functional(self) -> bool:
         """True when the request carries concrete Q/K/V data."""
         return self.q is not None
+
+    @property
+    def data_heads(self) -> int:
+        """Heads of concrete data this request carries (0 when analytical)."""
+        if not self.is_functional:
+            return 0
+        return self.q.shape[0] if self.q.ndim == 3 else 1
 
 
 @dataclass(frozen=True)
@@ -99,10 +131,23 @@ def make_request(
     seed: int = 0,
     num_heads: int = 1,
     functional: bool = True,
+    stacked_heads: bool = False,
 ) -> AttentionRequest:
-    """Build one request, with random Q/K/V data when ``functional``."""
+    """Build one request, with random Q/K/V data when ``functional``.
+
+    ``stacked_heads=True`` draws ``num_heads`` distinct heads of data into a
+    ``(num_heads, seq_len, head_dim)`` stack; the default carries one head
+    of data and accounts the rest as identical in cost.
+    """
     if not functional:
         return AttentionRequest(seq_len=seq_len, num_heads=num_heads)
+    if stacked_heads:
+        heads = [
+            attention_inputs(seq_len, head_dim, seed=seed * 1000 + head)
+            for head in range(num_heads)
+        ]
+        q, k, v = (np.stack([head[axis] for head in heads]) for axis in range(3))
+        return AttentionRequest(seq_len=seq_len, q=q, k=k, v=v, num_heads=num_heads)
     q, k, v = attention_inputs(seq_len, head_dim, seed=seed)
     return AttentionRequest(seq_len=seq_len, q=q, k=k, v=v, num_heads=num_heads)
 

@@ -28,6 +28,9 @@ class BatchRecord:
     total_rows: int
     device_seconds: float
     energy_joules: float
+    #: Accounted ``num_heads * seq_len`` units the backend reported for the
+    #: batch — the backend-independent work measure.
+    head_rows: int = 0
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,9 @@ class ServingStats:
         Measured host wall-clock of the run (queueing + batching + execution).
     cache_hits, cache_misses:
         Plan-cache counters accumulated during the run.
+    total_head_rows:
+        Accounted ``num_heads * seq_len`` units served across all batches —
+        the backend-independent volume behind the throughput numbers.
     """
 
     backend: str
@@ -66,6 +72,7 @@ class ServingStats:
     wall_seconds: float
     cache_hits: int
     cache_misses: int
+    total_head_rows: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -88,6 +95,13 @@ class ServingStats:
     def wall_requests_per_second(self) -> float:
         """Host-side throughput over the measured wall clock."""
         return self.num_requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def head_rows_per_second(self) -> float:
+        """Device throughput in accounted head-row units per makespan second."""
+        if self.device_makespan_seconds <= 0:
+            return 0.0
+        return self.total_head_rows / self.device_makespan_seconds
 
     @property
     def shard_utilisation(self) -> "tuple[float, ...]":
@@ -118,6 +132,7 @@ class ServingStats:
                 "device makespan [s]": self.device_makespan_seconds,
                 "requests/sec (device)": self.requests_per_second,
                 "requests/sec (wall)": self.wall_requests_per_second,
+                "head-rows/sec (device)": self.head_rows_per_second,
                 "shard balance (min util)": balance,
                 "energy [J]": self.total_energy_joules,
                 "plan-cache hit rate": self.cache_hit_rate,

@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import SWATConfig
 from repro.core.plan import (
+    PlanBatch,
     compile_plan,
     execute_plan_attention,
     execute_plan_attention_rows,
@@ -311,3 +312,82 @@ class TestExecutors:
         monkeypatch.setattr(plan_module, "_CHUNK_ROWS", 5)
         split = execute_plan_attention(plan, q, k, v)
         np.testing.assert_allclose(full, split, atol=1e-12)
+
+
+class TestBatchedExecutor:
+    """The stacked batch axis: bit-identical to single-head execution."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"num_global": 3},
+            {"num_global": 2, "num_random": 3},
+        ],
+        ids=["window", "global", "bigbird"],
+    )
+    @pytest.mark.parametrize("subtract_max", [False, True], ids=["raw", "stable"])
+    def test_stacked_heads_bit_identical_to_single(self, overrides, subtract_max):
+        config = _config(window_tokens=8, **overrides)
+        plan = compile_plan(config, 40)
+        heads = [attention_inputs(40, 16, seed=head) for head in range(5)]
+        q = np.stack([head[0] for head in heads])
+        k = np.stack([head[1] for head in heads])
+        v = np.stack([head[2] for head in heads])
+        stacked = execute_plan_attention(plan, q, k, v, subtract_max=subtract_max)
+        assert stacked.shape == q.shape
+        for index, (hq, hk, hv) in enumerate(heads):
+            single = execute_plan_attention(plan, hq, hk, hv, subtract_max=subtract_max)
+            assert np.array_equal(stacked[index], single), f"head {index} diverged"
+
+    def test_four_dimensional_batch_of_multi_head_items(self):
+        plan = compile_plan(_config(window_tokens=8, num_random=2), 32)
+        rng = np.random.default_rng(0)
+        q, k, v = rng.standard_normal((3, 2, 3, 32, 16))
+        out = execute_plan_attention(plan, q, k, v)
+        assert out.shape == (2, 3, 32, 16)
+        for b in range(2):
+            for h in range(3):
+                single = execute_plan_attention(plan, q[b, h], k[b, h], v[b, h])
+                assert np.array_equal(out[b, h], single)
+
+    def test_bad_rank_and_shape_mismatch_raise(self):
+        plan = compile_plan(_config(), 16)
+        q, k, v = attention_inputs(16, 16, seed=0)
+        with pytest.raises(ValueError, match="2-D, 3-D or 4-D"):
+            execute_plan_attention(plan, q[None, None, None], k[None, None, None], v[None, None, None])
+        with pytest.raises(ValueError, match="shapes must match"):
+            execute_plan_attention(plan, q[None], k, v)
+
+
+class TestPlanBatch:
+    def test_stack_execute_split_round_trip(self):
+        config = _config(window_tokens=8, num_global=2, num_random=2)
+        plan = compile_plan(config, 40)
+        single = attention_inputs(40, 16, seed=0)
+        stacked_item = tuple(np.stack([axis, axis * 0.5]) for axis in attention_inputs(40, 16, seed=1))
+        batch = PlanBatch.from_items(plan, [single, stacked_item])
+        assert batch.num_items == 2
+        assert batch.num_heads == 3
+        assert batch.head_counts == (1, 2)
+        assert batch.seq_len == 40
+        outputs = batch.split(batch.execute())
+        assert outputs[0].shape == (40, 16)  # 2-D item comes back 2-D
+        assert outputs[1].shape == (2, 40, 16)
+        assert np.array_equal(outputs[0], execute_plan_attention(plan, *single))
+        assert np.array_equal(outputs[1], execute_plan_attention(plan, *stacked_item))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one item"):
+            PlanBatch.from_items(compile_plan(_config(), 16), [])
+
+    def test_wrong_seq_len_item_rejected(self):
+        plan = compile_plan(_config(), 16)
+        with pytest.raises(ValueError, match="plan covers 16"):
+            PlanBatch.from_items(plan, [attention_inputs(24, 16, seed=0)])
+
+    def test_split_requires_matching_stack(self):
+        plan = compile_plan(_config(), 16)
+        batch = PlanBatch.from_items(plan, [attention_inputs(16, 16, seed=0)])
+        with pytest.raises(ValueError, match="batch holds 1"):
+            batch.split(np.zeros((2, 16, 16)))

@@ -150,11 +150,32 @@ class TestAnalyticalOnlyBackends:
         assert result.device_seconds > 0
         assert result.energy_joules > 0
 
-    def test_gpu_heads_scale_cost(self):
-        backend = create_backend("gpu-dense", config=_config())
+    def test_gpu_heads_scale_cost_when_launches_not_amortised(self):
+        """launch_amortisation=0 reprices the looped per-head dispatch exactly."""
+        from repro.serving.backends import GPUDenseBackend
+
+        backend = GPUDenseBackend(config=_config(), launch_amortisation=0.0)
         one = backend.execute(AttentionRequest(seq_len=256)).device_seconds
         four = backend.execute(AttentionRequest(seq_len=256, num_heads=4)).device_seconds
         assert four == pytest.approx(4 * one)
+
+    def test_gpu_batching_amortises_launches(self):
+        """The default batched pricing beats the looped baseline, bounded below
+
+        by pure compute scaling (arithmetic still grows with the head count).
+        """
+        from repro.serving.backends import GPUDenseBackend
+
+        config = _config()
+        batched = GPUDenseBackend(config=config)  # launch_amortisation=1.0
+        looped = GPUDenseBackend(config=config, launch_amortisation=0.0)
+        request = AttentionRequest(seq_len=256, num_heads=8)
+        batched_s = batched.execute(request).device_seconds
+        looped_s = looped.execute(request).device_seconds
+        assert batched_s < looped_s
+        # Same arithmetic either way: only the launch/floor overhead shrinks.
+        one_body = batched.execute(AttentionRequest(seq_len=256)).device_seconds
+        assert batched_s > 0.5 * one_body
 
     def test_dense_fpga_has_cycle_domain(self):
         result = create_backend("dense-fpga", config=_config()).execute(
