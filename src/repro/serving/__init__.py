@@ -12,19 +12,32 @@ request queue with dynamic batching (:mod:`repro.serving.batcher`,
 from repro.serving.backends import (
     AttentionBackend,
     BackendResult,
+    StepCost,
     available_backends,
     create_backend,
     register_backend,
 )
 from repro.serving.batcher import DynamicBatcher, seq_len_bucket
 from repro.serving.cache import CachedPlan, PlanCache, config_fingerprint
+from repro.serving.continuous import (
+    ContinuousBatcher,
+    IterationRecord,
+    ScenarioComparison,
+    ServingClock,
+    bursty_arrivals,
+    compare_modes,
+    poisson_arrivals,
+    serve_continuous,
+    swat_request_rate,
+)
 from repro.serving.engine import ServingEngine, ServingResult
 from repro.serving.request import AttentionRequest, CompletedRequest, make_request, make_requests
-from repro.serving.stats import BatchRecord, ServingStats
+from repro.serving.stats import BatchRecord, ServingStats, percentile
 
 __all__ = [
     "AttentionBackend",
     "BackendResult",
+    "StepCost",
     "available_backends",
     "create_backend",
     "register_backend",
@@ -33,6 +46,15 @@ __all__ = [
     "CachedPlan",
     "PlanCache",
     "config_fingerprint",
+    "ContinuousBatcher",
+    "IterationRecord",
+    "ScenarioComparison",
+    "ServingClock",
+    "bursty_arrivals",
+    "compare_modes",
+    "poisson_arrivals",
+    "serve_continuous",
+    "swat_request_rate",
     "ServingEngine",
     "ServingResult",
     "AttentionRequest",
@@ -41,4 +63,5 @@ __all__ = [
     "make_requests",
     "BatchRecord",
     "ServingStats",
+    "percentile",
 ]

@@ -34,6 +34,17 @@ the per-kernel launch cost the batch hides.
 Every :class:`BackendResult` carries ``head_rows`` — the accounted
 ``num_heads * seq_len`` units of the batch — so per-head accounting is
 comparable across all backends regardless of their clock domain.
+
+Beside the drain-style ``execute_batch`` protocol, backends with a *modelled*
+clock expose iteration-level pricing for the continuous-batching engine
+(:mod:`repro.serving.continuous`): :meth:`AttentionBackend.step` prices one
+iteration of row slices so a batch's cost can be split across admissions —
+the pipeline fill is charged only when the pipeline was idle before the
+iteration (fill amortisation recomputed per iteration, never per drain), and
+the per-iteration cycles of a busy period sum exactly to what
+:meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles` would
+charge for the same rows streamed as one batch.  Backends whose clock is
+measured host time (``fused``) set ``supports_continuous = False``.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
+from math import ceil
 
 import numpy as np
 
@@ -58,6 +70,7 @@ from repro.serving.request import AttentionRequest
 
 __all__ = [
     "BackendResult",
+    "StepCost",
     "AttentionBackend",
     "BackendRegistry",
     "REGISTRY",
@@ -105,15 +118,46 @@ class BackendResult:
     head_rows: int = 0
 
 
+@dataclass(frozen=True)
+class StepCost:
+    """Price of one continuous-batching iteration on a backend's clock.
+
+    Attributes
+    ----------
+    seconds:
+        Modelled device time of the iteration.  Resident slices stream in
+        parallel across the stacked batch axis, so the iteration lasts as
+        long as its *gating* (largest) slice, not the sum of all slices.
+    cycles:
+        Modelled cycle count when the backend has a cycle-accurate clock
+        domain, else ``None``.
+    energy_joules:
+        Modelled energy of the iteration.
+    gate_rows:
+        Row-work units of the gating slice — the quantity the pipeline
+        actually streamed for the duration of the iteration.
+    """
+
+    seconds: float
+    cycles: "int | None"
+    energy_joules: float
+    gate_rows: int = 0
+
+
 class AttentionBackend(ABC):
     """Common protocol of every execution path: execute one batch at a time.
 
-    Subclasses declare ``name`` (the registry key) and ``functional`` (whether
-    functional requests get an output array back).
+    Subclasses declare ``name`` (the registry key), ``functional`` (whether
+    functional requests get an output array back) and ``supports_continuous``
+    (whether the backend has a modelled clock the iteration-level scheduler of
+    :mod:`repro.serving.continuous` can advance deterministically).
     """
 
     name: str = ""
     functional: bool = False
+    #: Whether :meth:`step` prices iterations on a modelled (deterministic)
+    #: clock.  ``False`` for backends whose clock is measured host time.
+    supports_continuous: bool = False
 
     def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
         self.config = config if config is not None else SWATConfig()
@@ -126,6 +170,46 @@ class AttentionBackend(ABC):
     def execute(self, request: AttentionRequest) -> BackendResult:
         """Convenience: execute a single request as a batch of one."""
         return self.execute_batch([request])
+
+    # ------------------------------------------------------------------ #
+    # Iteration-level protocol (continuous batching)
+    # ------------------------------------------------------------------ #
+
+    def request_rows(self, request: AttentionRequest) -> int:
+        """Total row-work units ``request`` must stream on this backend.
+
+        The continuous engine splits this into per-iteration slices; a
+        request retires when its slices sum to this value.  The default is
+        ``num_heads * seq_len`` (one stream per head); backends that spread
+        heads across replicated pipelines override it to match their batch
+        timing model.
+        """
+        return request.num_heads * request.seq_len
+
+    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
+        """Price one iteration advancing each ``(request, rows)`` slice.
+
+        Resident slices stream in parallel across the stacked batch axis
+        (the ``G`` axis of :class:`~repro.core.plan.PlanBatch`), so the
+        iteration is gated by its largest slice.  ``primed`` is ``True``
+        when the pipeline was busy in the immediately preceding iteration:
+        a primed pipeline pays no refill, which is how a batch's fill cost
+        is amortised across admissions instead of being re-charged per
+        dispatch.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} has no modelled per-iteration clock "
+            f"(supports_continuous={self.supports_continuous})"
+        )
+
+    def compute_outputs(self, batch: "list[AttentionRequest]") -> "tuple[np.ndarray | None, ...]":
+        """Functional outputs of ``batch`` without touching the timing model.
+
+        The continuous engine prices execution through :meth:`step` and asks
+        for outputs separately at retirement; non-functional backends return
+        ``None`` per request.
+        """
+        return (None,) * len(batch)
 
     def describe(self) -> str:
         """Human-readable one-liner used by the demo CLI."""
@@ -266,6 +350,57 @@ class _SWATBackendBase(AttentionBackend):
             for seq_len, members in seq_len_groups(batch).items()
         )
 
+    # ------------------------------------------------------------------ #
+    # Iteration-level pricing (continuous batching)
+    # ------------------------------------------------------------------ #
+
+    supports_continuous = True
+
+    def request_rows(self, request: AttentionRequest) -> int:
+        """Pipeline rows of the request, heads spread across the replicas.
+
+        Matches
+        :meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`:
+        ``ceil(num_heads / num_pipelines) * seq_len`` rows stream serially on
+        the most-loaded replica, so a solo request's per-iteration cycles sum
+        bit-exactly to its batch-of-one drain dispatch (fill paid once, heads
+        streamed back to back).
+        """
+        return ceil(request.num_heads / self.config.num_pipelines) * request.seq_len
+
+    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
+        """One iteration on the SWAT pipeline: gated by the largest slice.
+
+        Resident slices stream in parallel on the stacked batch axis; the
+        gating slice's rows pass through the pipeline at one row per
+        initiation interval.  A cold pipeline pays the fill
+        (``depth + (rows - 1) * II``, exactly
+        :meth:`~repro.core.pipeline.SWATPipelineModel.cycles_for_rows`); a
+        primed one streams at ``rows * II``.  Summed over a busy period the
+        fill is therefore charged once — the same total
+        :meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`
+        charges for the period's gating rows as one drained batch.
+        """
+        if not slices:
+            raise ValueError("an iteration needs at least one resident slice")
+        gate_rows = 0
+        for request, rows in slices:
+            if rows <= 0:
+                raise ValueError(f"slice rows must be positive, got {rows}")
+            gate_rows = max(gate_rows, rows)
+        pipeline = self.simulator.pipeline
+        if primed:
+            cycles = gate_rows * pipeline.initiation_interval
+        else:
+            cycles = pipeline.cycles_for_rows(gate_rows)
+        seconds = cycles * self.config.clock_period_s
+        return StepCost(
+            seconds=seconds,
+            cycles=cycles,
+            energy_joules=self.simulator.power_model.total_power_w * seconds,
+            gate_rows=gate_rows,
+        )
+
 
 @register_backend
 class SimulatorBackend(_SWATBackendBase):
@@ -285,7 +420,10 @@ class SimulatorBackend(_SWATBackendBase):
     name = "simulator"
     functional = True
 
-    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+    def _outputs_and_traffic(
+        self, batch: "list[AttentionRequest]"
+    ) -> "tuple[tuple[np.ndarray | None, ...], int]":
+        """Stacked functional pass plus traffic, one plan resolution per group."""
         outputs: "list[np.ndarray | None]" = [None] * len(batch)
         bytes_moved = 0
         for seq_len, members in seq_len_groups(batch).items():
@@ -302,6 +440,23 @@ class SimulatorBackend(_SWATBackendBase):
             stacked = plan_batch.execute(scale=1.0 / np.sqrt(self.config.head_dim))
             for (index, _), output in zip(functional, plan_batch.split(stacked)):
                 outputs[index] = output
+        return tuple(outputs), bytes_moved
+
+    def compute_outputs(self, batch: "list[AttentionRequest]") -> "tuple[np.ndarray | None, ...]":
+        """Stacked functional pass only — one ``PlanBatch`` per shape group.
+
+        Exactly the execution path of :meth:`execute_batch`, minus the
+        timing/traffic accounting: the continuous engine prices iterations
+        through :meth:`step` and fetches outputs here at retirement, so the
+        per-head bits are identical to a drain dispatch (and, by the stacked
+        executor's contract, to running each request alone).
+        """
+        outputs, _ = self._outputs_and_traffic(batch)
+        return outputs
+
+    def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
+        outputs, bytes_moved = self._outputs_and_traffic(batch)
+        outputs = list(outputs)
         cycles, seconds, energy = self._batch_timing(batch)
         return BackendResult(
             outputs=tuple(outputs),
@@ -358,6 +513,10 @@ class FusedSoftwareBackend(AttentionBackend):
         super().__init__(config=config, plan_cache=plan_cache)
         if self.plan_cache is None:
             self.plan_cache = PlanCache()
+
+    def compute_outputs(self, batch: "list[AttentionRequest]") -> "tuple[np.ndarray | None, ...]":
+        """Outputs via the measured execution path (the clock is discarded)."""
+        return self.execute_batch(batch).outputs
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         start = time.perf_counter()
@@ -418,6 +577,8 @@ class _GPUBackendBase(AttentionBackend):
     #: The runner's launch-amortisation knob (see :meth:`GPUKernelModel.batched`).
     launch_amortisation: float = 1.0
 
+    supports_continuous = True
+
     def __init__(
         self,
         config: "SWATConfig | None" = None,
@@ -427,9 +588,47 @@ class _GPUBackendBase(AttentionBackend):
         super().__init__(config=config, plan_cache=plan_cache)
         if launch_amortisation is not None:
             self.launch_amortisation = launch_amortisation
+        self._step_reports: "dict[tuple[int, int], object]" = {}
 
     def _runner_run_batch(self, seq_len: int, items: int):
         raise NotImplementedError
+
+    def _shape_report(self, seq_len: int, num_heads: int):
+        """Memoised full-shape report backing the per-row iteration rate."""
+        key = (seq_len, num_heads)
+        if key not in self._step_reports:
+            self._step_reports[key] = self._runner_run_batch(seq_len, num_heads)
+        return self._step_reports[key]
+
+    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
+        """One iteration on the GPU clock: gated by the slowest slice.
+
+        Each slice is priced at its request's per-row rate (the memoised
+        full-shape :meth:`run_batch` report divided by its total rows, so a
+        solo request's slices sum exactly to its one-shot report — launch
+        cost included, hence ``primed`` carries no extra fill here).  The
+        iteration lasts as long as the slowest slice; energy tracks the work
+        of every slice.
+        """
+        del primed  # launch cost is embedded in the per-shape rate
+        if not slices:
+            raise ValueError("an iteration needs at least one resident slice")
+        gate_seconds = 0.0
+        gate_rows = 0
+        energy = 0.0
+        for request, rows in slices:
+            if rows <= 0:
+                raise ValueError(f"slice rows must be positive, got {rows}")
+            report = self._shape_report(request.seq_len, request.num_heads)
+            total_rows = self.request_rows(request)
+            slice_seconds = report.seconds * rows / total_rows
+            if slice_seconds > gate_seconds:
+                gate_seconds = slice_seconds
+                gate_rows = rows
+            energy += report.energy_joules * rows / total_rows
+        return StepCost(
+            seconds=gate_seconds, cycles=None, energy_joules=energy, gate_rows=gate_rows
+        )
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         seconds = 0.0
@@ -508,10 +707,45 @@ class DenseFPGABackend(AttentionBackend):
     name = "dense-fpga"
     functional = False
 
+    supports_continuous = True
+
     def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
         super().__init__(config=config, plan_cache=plan_cache)
         self.baseline = DenseFPGABaseline(self.config)
         self.power_model = PowerModel(self.config)
+        self._step_cycles: "dict[tuple[int, int], int]" = {}
+
+    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
+        """One iteration on the dense baseline: per-row rate off its report.
+
+        Dense attention has no streaming fill to amortise, so ``primed`` is
+        ignored; each slice is priced as its row share of the memoised
+        full-shape report and the iteration is gated by the slowest slice.
+        """
+        del primed
+        if not slices:
+            raise ValueError("an iteration needs at least one resident slice")
+        gate_seconds = 0.0
+        gate_rows = 0
+        for request, rows in slices:
+            if rows <= 0:
+                raise ValueError(f"slice rows must be positive, got {rows}")
+            key = (request.seq_len, request.num_heads)
+            if key not in self._step_cycles:
+                self._step_cycles[key] = self.baseline.run(
+                    request.seq_len, num_heads=request.num_heads
+                ).cycles
+            total_rows = self.request_rows(request)
+            slice_seconds = self._step_cycles[key] * self.config.clock_period_s * rows / total_rows
+            if slice_seconds > gate_seconds:
+                gate_seconds = slice_seconds
+                gate_rows = rows
+        return StepCost(
+            seconds=gate_seconds,
+            cycles=None,
+            energy_joules=self.power_model.total_power_w * gate_seconds,
+            gate_rows=gate_rows,
+        )
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         cycles = 0

@@ -76,8 +76,29 @@ class DynamicBatcher:
             return Batch(batch_id=next(self._batch_ids), key=key, requests=bucket)
         return None
 
+    def cancel(self, request_id: int) -> bool:
+        """Withdraw a pending request before it is dispatched.
+
+        Returns ``True`` when the request was still pending (and is now
+        removed, its bucket dropped if emptied); ``False`` when it was never
+        added or already rode out in an emitted batch — cancellation after
+        dispatch is the engine's problem, not the batcher's.
+        """
+        for key, requests in self._pending.items():
+            for index, request in enumerate(requests):
+                if request.request_id == request_id:
+                    del requests[index]
+                    if not requests:
+                        del self._pending[key]
+                    return True
+        return False
+
     def flush(self) -> "list[Batch]":
-        """Emit every partially-filled batch (queue-drain / timeout path)."""
+        """Emit every partially-filled batch (queue-drain / timeout path).
+
+        Buckets emptied by :meth:`cancel` are dropped, never emitted as
+        empty batches.
+        """
         batches = [
             Batch(batch_id=next(self._batch_ids), key=key, requests=requests)
             for key, requests in self._pending.items()

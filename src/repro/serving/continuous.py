@@ -1,0 +1,581 @@
+"""Continuous batching: admit and retire requests between pipeline iterations.
+
+The drain path of :mod:`repro.serving.engine` dispatches a fixed
+:class:`~repro.serving.batcher.Batch` and holds the shard until every member
+finishes — under mixed-length traffic the whole dispatch is gated by its
+slowest request while finished members' slots sit idle (head-of-line
+blocking).  This module is the vLLM-style alternative: an *iteration-level*
+scheduler that re-forms the running batch between pipeline steps.
+
+Device model
+------------
+A shard executes **iterations** over a running batch of at most
+``max_batch_size`` resident requests.  The residents occupy parallel slots of
+the stacked batch axis (the ``G`` axis a :class:`~repro.core.plan.PlanBatch`
+executes in one pass), so an iteration advances every resident by a row
+slice of up to ``iteration_rows`` rows *in lockstep* and lasts as long as its
+largest (gating) slice.  Pricing is the backend's
+:meth:`~repro.serving.backends.AttentionBackend.step`: on the SWAT pipeline a
+cold iteration pays the fill (``depth + (rows - 1) * II``) and a primed one
+streams at ``rows * II``, so the per-iteration cycles of a busy period sum
+bit-exactly to what
+:meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles` charges
+for the same gating rows streamed as one drained batch — partial fills are
+charged to the timing model honestly, never once per drain.
+
+Note the contrast with the drain engine's clock: a drained dispatch streams
+its requests' rows *serially* through one pipeline
+(``batch_attention_cycles``), whereas the continuous clock models the stacked
+batch axis as ``max_batch_size`` parallel streams.  The scenario runner
+therefore prices **both** admission policies with the same iteration clock
+(:func:`compare_modes`), so any speedup it reports is pure scheduling-policy
+gain — slots refilled mid-flight versus slots held until the slowest member
+retires — not a change of device model.
+
+Clock
+-----
+Everything runs on a deterministic simulated clock (:class:`ServingClock`):
+request ``arrival_time``\\ s come from seeded generators
+(:func:`poisson_arrivals`, :func:`bursty_arrivals`), shards advance
+event-driven (the shard with the earliest activation time runs its next
+iteration), and no scheduling decision reads the host clock — the same seed
+replays the same trace, iteration for iteration.
+
+Functional outputs are computed at retirement through the backend's stacked
+:meth:`~repro.serving.backends.AttentionBackend.compute_outputs` pass, so
+per-request bits are identical to a drain dispatch and to running each
+request alone (the stacked executor's contract).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from math import ceil
+from statistics import mean
+
+import numpy as np
+
+from repro.core.config import SWATConfig
+from repro.core.pipeline import SWATPipelineModel
+from repro.serving.backends import REGISTRY, batch_head_rows, create_backend
+from repro.serving.cache import PlanCache
+from repro.serving.engine import ServingResult
+from repro.serving.request import AttentionRequest, CompletedRequest
+from repro.serving.stats import ServingStats, percentile
+
+__all__ = [
+    "ServingClock",
+    "InFlightRequest",
+    "IterationRecord",
+    "ContinuousBatcher",
+    "serve_continuous",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "swat_request_rate",
+    "ScenarioComparison",
+    "compare_modes",
+]
+
+#: Admission policies the iteration-level loop understands.
+ADMISSION_MODES = ("continuous", "drain")
+
+#: Default rows a resident request advances per iteration.
+DEFAULT_ITERATION_ROWS = 128
+
+
+class ServingClock:
+    """One shard's simulated device clock, advanced in priced time slices.
+
+    ``now`` is simulated seconds since the start of the run.  The clock only
+    ever moves forward: :meth:`advance` adds a priced iteration (counted as
+    busy time), :meth:`jump_to` skips idle gaps to the next arrival (not
+    counted as busy).
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.busy_seconds = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Advance by one priced iteration of ``seconds`` busy time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds} seconds")
+        self.now += seconds
+        self.busy_seconds += seconds
+
+    def jump_to(self, instant: float) -> None:
+        """Skip idle time forward to ``instant`` (no-op when already past)."""
+        if instant > self.now:
+            self.now = instant
+
+
+@dataclass
+class InFlightRequest:
+    """A request resident in (or retired from) a shard's running batch."""
+
+    request: AttentionRequest
+    shard: int
+    rows_total: int
+    admit_time: float
+    #: Monotonically increasing admission event id (the continuous-mode
+    #: analogue of a drain batch id).
+    admission_id: int
+    #: Residents on the shard right after this request was admitted.
+    residency_at_admit: int
+    rows_done: int = 0
+    finish_time: "float | None" = None
+    #: Summed seconds of every iteration this request was resident in (an
+    #: iteration's duration is counted for each of its residents — they
+    #: share the clock, not split it).
+    device_seconds: float = 0.0
+
+    @property
+    def remaining_rows(self) -> int:
+        """Row-work units still to stream before retirement."""
+        return self.rows_total - self.rows_done
+
+    @property
+    def finished(self) -> bool:
+        """True once every row of the request has streamed."""
+        return self.rows_done >= self.rows_total
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Accounting for one priced iteration of one shard."""
+
+    index: int
+    shard: int
+    start_seconds: float
+    seconds: float
+    cycles: "int | None"
+    energy_joules: float
+    #: Rows of the gating (largest) slice — what the pipeline streamed for
+    #: the duration of the iteration.
+    gate_rows: int
+    #: Whether the pipeline was primed (busy in the immediately preceding
+    #: iteration of this shard) — a primed iteration pays no fill.
+    primed: bool
+    #: ``(request_id, slice_rows)`` per resident, in slot order.
+    resident: "tuple[tuple[int, int], ...]"
+    admitted: "tuple[int, ...]"
+    retired: "tuple[int, ...]"
+    #: Residents as a fraction of ``max_batch_size`` slots.
+    occupancy: float
+
+
+class ContinuousBatcher:
+    """Iteration-level batching state: waiting queue plus per-shard residents.
+
+    Requests wait (ordered by ``(arrival_time, submission order)``) until a
+    shard admits them.  Under ``admission="continuous"`` a shard admits
+    whenever a slot is free — a retirement frees its ``(config, seq_len)``
+    slot for the next arrived request *mid-flight*.  Under
+    ``admission="drain"`` a shard admits only when its running batch is
+    empty (the static-batching policy the scenario runner compares against);
+    membership is then fixed until every member retires.
+    """
+
+    def __init__(self, max_batch_size: int, num_shards: int = 1, admission: str = "continuous"):
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if admission not in ADMISSION_MODES:
+            raise ValueError(f"admission must be one of {ADMISSION_MODES}, got {admission!r}")
+        self.max_batch_size = max_batch_size
+        self.num_shards = num_shards
+        self.admission = admission
+        self._waiting: "deque[AttentionRequest]" = deque()
+        self.running: "list[list[InFlightRequest]]" = [[] for _ in range(num_shards)]
+        self._admission_ids = 0
+
+    def submit(self, requests: "list[AttentionRequest]") -> None:
+        """Queue ``requests``; admission order is ``(arrival_time, submit order)``."""
+        ordered = sorted(
+            list(self._waiting) + list(requests),
+            key=lambda request: (request.arrival_time, request.request_id),
+        )
+        self._waiting = deque(ordered)
+
+    @property
+    def waiting_count(self) -> int:
+        """Requests queued but not yet admitted."""
+        return len(self._waiting)
+
+    @property
+    def done(self) -> bool:
+        """True when nothing is waiting and no shard has residents."""
+        return not self._waiting and not any(self.running)
+
+    def next_arrival_time(self) -> "float | None":
+        """Arrival instant of the earliest waiting request (``None`` if empty)."""
+        return self._waiting[0].arrival_time if self._waiting else None
+
+    def free_slots(self, shard: int) -> int:
+        """Slots a shard could still fill under its admission policy.
+
+        Continuous admission exposes every unoccupied slot; drain admission
+        exposes the full batch width when the shard is empty and nothing
+        mid-flight (membership is fixed until the batch retires).
+        """
+        resident = len(self.running[shard])
+        if self.admission == "drain" and resident:
+            return 0
+        return self.max_batch_size - resident
+
+    def admit(self, shard: int, now: float, rows_of) -> "list[InFlightRequest]":
+        """Admit arrived waiting requests into ``shard``'s free slots (FCFS).
+
+        ``rows_of`` maps a request to its total row-work on the serving
+        backend.  Returns the newly admitted in-flight records; occupancy
+        never exceeds ``max_batch_size``.
+        """
+        admitted: "list[InFlightRequest]" = []
+        slots = self.free_slots(shard)
+        while slots > 0 and self._waiting and self._waiting[0].arrival_time <= now:
+            slots -= 1
+            request = self._waiting.popleft()
+            inflight = InFlightRequest(
+                request=request,
+                shard=shard,
+                rows_total=rows_of(request),
+                admit_time=now,
+                admission_id=self._admission_ids,
+                residency_at_admit=len(self.running[shard]) + 1,
+            )
+            self._admission_ids += 1
+            self.running[shard].append(inflight)
+            admitted.append(inflight)
+        return admitted
+
+    def slices(self, shard: int, iteration_rows: int) -> "list[tuple[InFlightRequest, int]]":
+        """The next iteration's row slice per resident, in slot order."""
+        return [
+            (inflight, min(iteration_rows, inflight.remaining_rows))
+            for inflight in self.running[shard]
+        ]
+
+    def retire_finished(self, shard: int, now: float) -> "list[InFlightRequest]":
+        """Remove finished residents, stamping their completion instant."""
+        retired = [inflight for inflight in self.running[shard] if inflight.finished]
+        if retired:
+            self.running[shard] = [
+                inflight for inflight in self.running[shard] if not inflight.finished
+            ]
+            for inflight in retired:
+                inflight.finish_time = now
+        return retired
+
+
+def serve_continuous(
+    requests: "list[AttentionRequest]",
+    config: "SWATConfig | None" = None,
+    backend: str = "simulator",
+    num_shards: int = 1,
+    max_batch_size: int = 8,
+    iteration_rows: int = DEFAULT_ITERATION_ROWS,
+    admission: str = "continuous",
+    plan_cache: "PlanCache | None" = None,
+    backends: "list | None" = None,
+) -> ServingResult:
+    """Serve ``requests`` through the iteration-level scheduler.
+
+    The deterministic simulated-clock loop: shards advance event-driven (the
+    one with the earliest activation instant runs its next iteration), each
+    iteration admits arrived requests under the ``admission`` policy, prices
+    one :meth:`~repro.serving.backends.AttentionBackend.step`, advances every
+    resident's slice and retires finished requests — whose functional outputs
+    are computed right there through the backend's stacked pass.
+
+    ``admission="drain"`` runs the same clock with static batching (a shard
+    refills only once empty); it exists so the scenario comparison isolates
+    the scheduling policy from the device model.  ``backends`` reuses one
+    already-constructed backend instance per shard (they should share
+    ``plan_cache`` for the cache counters to mean anything); by default one
+    is created per shard.
+    """
+    if iteration_rows <= 0:
+        raise ValueError(f"iteration_rows must be positive, got {iteration_rows}")
+    config = config if config is not None else SWATConfig()
+    if not REGISTRY.backend_class(backend).supports_continuous:
+        raise ValueError(
+            f"backend {backend!r} has no modelled per-iteration clock and cannot "
+            f"serve in continuous mode (its clock is measured host time)"
+        )
+    plan_cache = plan_cache if plan_cache is not None else PlanCache()
+    start_wall = time.perf_counter()
+    cache_before = plan_cache.counters()
+    if backends is not None:
+        if len(backends) != num_shards:
+            raise ValueError(f"got {len(backends)} backends for {num_shards} shards")
+        shards = list(backends)
+    else:
+        shards = [
+            create_backend(backend, config=config, plan_cache=plan_cache)
+            for _ in range(num_shards)
+        ]
+    rows_of = shards[0].request_rows
+
+    batcher = ContinuousBatcher(max_batch_size, num_shards=num_shards, admission=admission)
+    batcher.submit(list(requests))
+    clocks = [ServingClock() for _ in range(num_shards)]
+    primed = [False] * num_shards
+    records: "list[IterationRecord]" = []
+    completed: "list[CompletedRequest]" = []
+    total_energy = 0.0
+
+    while not batcher.done:
+        shard = _next_active_shard(batcher, clocks)
+        clock = clocks[shard]
+        if not batcher.running[shard]:
+            # Idle shard: skip forward to its next arrival (idle, not busy).
+            next_arrival = batcher.next_arrival_time()
+            if next_arrival is not None:
+                clock.jump_to(next_arrival)
+        admitted = batcher.admit(shard, clock.now, rows_of)
+        residents = batcher.running[shard]
+        if not residents:  # pragma: no cover - defensive; admit() always lands one
+            continue
+        slices = batcher.slices(shard, iteration_rows)
+        cost = shards[shard].step(
+            [(inflight.request, rows) for inflight, rows in slices], primed[shard]
+        )
+        start = clock.now
+        clock.advance(cost.seconds)
+        total_energy += cost.energy_joules
+        for inflight, rows in slices:
+            inflight.rows_done += rows
+            inflight.device_seconds += cost.seconds
+        retired = batcher.retire_finished(shard, clock.now)
+        outputs = _retirement_outputs(shards[shard], retired)
+        for inflight, output in zip(retired, outputs):
+            completed.append(
+                CompletedRequest(
+                    request=inflight.request,
+                    output=output,
+                    shard=shard,
+                    batch_id=inflight.admission_id,
+                    batch_size=inflight.residency_at_admit,
+                    device_seconds=inflight.device_seconds,
+                    arrival_time=inflight.request.arrival_time,
+                    admit_time=inflight.admit_time,
+                    finish_time=inflight.finish_time,
+                )
+            )
+        records.append(
+            IterationRecord(
+                index=len(records),
+                shard=shard,
+                start_seconds=start,
+                seconds=cost.seconds,
+                cycles=cost.cycles,
+                energy_joules=cost.energy_joules,
+                gate_rows=cost.gate_rows,
+                primed=primed[shard],
+                resident=tuple((inflight.request.request_id, rows) for inflight, rows in slices),
+                admitted=tuple(inflight.request.request_id for inflight in admitted),
+                retired=tuple(inflight.request.request_id for inflight in retired),
+                occupancy=len(slices) / max_batch_size,
+            )
+        )
+        # The pipeline stays primed only while the shard keeps streaming.
+        primed[shard] = bool(batcher.running[shard])
+
+    wall_seconds = time.perf_counter() - start_wall
+    cache_after = plan_cache.counters()
+    position = {request.request_id: index for index, request in enumerate(requests)}
+    completed.sort(key=lambda done: position[done.request.request_id])
+    makespan = max((done.finish_time for done in completed), default=0.0)
+    queue_waits = [done.queue_seconds for done in completed]
+    latencies = [done.latency_seconds for done in completed]
+    stats = ServingStats(
+        backend=backend,
+        num_requests=len(requests),
+        num_batches=len(records),
+        num_shards=num_shards,
+        max_batch_size=max_batch_size,
+        device_makespan_seconds=makespan,
+        shard_busy_seconds=tuple(clock.busy_seconds for clock in clocks),
+        total_energy_joules=total_energy,
+        wall_seconds=wall_seconds,
+        cache_hits=cache_after["hits"] - cache_before["hits"],
+        cache_misses=cache_after["misses"] - cache_before["misses"],
+        total_head_rows=batch_head_rows(list(requests)),
+        mode=admission,
+        num_iterations=len(records),
+        mean_occupancy=mean(record.occupancy for record in records) if records else 0.0,
+        queue_p50_seconds=percentile(queue_waits, 50.0),
+        queue_p95_seconds=percentile(queue_waits, 95.0),
+        latency_p50_seconds=percentile(latencies, 50.0),
+        latency_p95_seconds=percentile(latencies, 95.0),
+    )
+    return ServingResult(
+        completed=completed,
+        stats=stats,
+        batches=(),
+        iterations=tuple(records),
+    )
+
+
+def _next_active_shard(batcher: ContinuousBatcher, clocks: "list[ServingClock]") -> int:
+    """The shard whose next iteration starts earliest (event-driven order).
+
+    A shard with residents activates at its own clock; an empty shard
+    activates when the next waiting request arrives.  Ties break on shard
+    index, so the loop is deterministic.
+    """
+    next_arrival = batcher.next_arrival_time()
+    best_shard = None
+    best_time = None
+    for shard, clock in enumerate(clocks):
+        if batcher.running[shard]:
+            activation = clock.now
+        elif next_arrival is not None:
+            activation = max(clock.now, next_arrival)
+        else:
+            continue
+        if best_time is None or activation < best_time:
+            best_shard, best_time = shard, activation
+    assert best_shard is not None  # batcher.done guards the loop
+    return best_shard
+
+
+def _retirement_outputs(backend, retired: "list[InFlightRequest]"):
+    """Functional outputs for this iteration's retirees (one stacked pass)."""
+    if not retired:
+        return ()
+    if not backend.functional:
+        return (None,) * len(retired)
+    return backend.compute_outputs([inflight.request for inflight in retired])
+
+
+# --------------------------------------------------------------------- #
+# Seeded arrival traces (simulated seconds, no wall-clock anywhere)
+# --------------------------------------------------------------------- #
+
+
+def poisson_arrivals(count: int, rate: float, seed: int = 0, start: float = 0.0) -> "list[float]":
+    """``count`` Poisson arrival instants at ``rate`` requests per second.
+
+    Inter-arrival gaps are exponential draws from a seeded generator; the
+    same seed replays the same trace bit-for-bit.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=count)
+    return [float(instant) for instant in start + np.cumsum(gaps)]
+
+
+def bursty_arrivals(
+    count: int,
+    burst_size: int,
+    burst_gap: float,
+    seed: int = 0,
+    start: float = 0.0,
+    jitter: float = 0.0,
+) -> "list[float]":
+    """Bursts of ``burst_size`` simultaneous arrivals every ``burst_gap`` seconds.
+
+    ``jitter`` spreads each burst's members by seeded exponential offsets
+    (mean ``jitter`` seconds) — the flash-crowd arrival pattern.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if burst_size <= 0:
+        raise ValueError(f"burst_size must be positive, got {burst_size}")
+    if burst_gap < 0:
+        raise ValueError(f"burst_gap must be non-negative, got {burst_gap}")
+    rng = np.random.default_rng(seed)
+    offsets = rng.exponential(jitter, size=count) if jitter > 0 else np.zeros(count)
+    return [
+        float(start + (index // burst_size) * burst_gap + offsets[index])
+        for index in range(count)
+    ]
+
+
+def swat_request_rate(
+    config: SWATConfig,
+    seq_lens: "list[int]",
+    num_shards: int = 1,
+    max_batch_size: int = 8,
+    num_heads: int = 1,
+) -> float:
+    """Requests/sec a fully occupied continuous pool can stream (SWAT clock).
+
+    At full occupancy every iteration advances ``max_batch_size`` slices in
+    parallel, one gating row per initiation interval, so the pool streams
+    ``num_shards * max_batch_size / (II * clock_period)`` rows per second;
+    dividing by the mean rows per request of the traffic mix (each request
+    carrying ``num_heads`` heads, spread across the replicated pipelines
+    exactly as the backend's ``request_rows``) gives the saturation request
+    rate — multiply by a load factor > 1 for an overloaded trace.
+    """
+    if not seq_lens:
+        raise ValueError("seq_lens must be non-empty")
+    if num_heads <= 0:
+        raise ValueError(f"num_heads must be positive, got {num_heads}")
+    pipeline = SWATPipelineModel(config)
+    mean_rows = mean(ceil(num_heads / config.num_pipelines) * seq_len for seq_len in seq_lens)
+    rows_per_second = (
+        num_shards * max_batch_size / (pipeline.initiation_interval * config.clock_period_s)
+    )
+    return rows_per_second / mean_rows
+
+
+# --------------------------------------------------------------------- #
+# Scenario runner: the continuous-vs-drain comparison tests and
+# benchmarks share
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """Both admission policies run over one trace on one iteration clock."""
+
+    continuous: ServingResult
+    drain: ServingResult
+
+    @property
+    def speedup(self) -> float:
+        """Modelled continuous-over-drain requests/sec ratio."""
+        drain_rps = self.drain.stats.requests_per_second
+        if drain_rps <= 0:
+            return float("inf")
+        return self.continuous.stats.requests_per_second / drain_rps
+
+
+def compare_modes(
+    requests: "list[AttentionRequest]",
+    config: "SWATConfig | None" = None,
+    backend: str = "analytical",
+    num_shards: int = 1,
+    max_batch_size: int = 8,
+    iteration_rows: int = DEFAULT_ITERATION_ROWS,
+) -> ScenarioComparison:
+    """Run one arrival trace under both admission policies, same clock.
+
+    Both runs price iterations with the identical backend ``step`` model, so
+    the reported :attr:`ScenarioComparison.speedup` isolates what mid-flight
+    admission/retirement buys over static drain batching.  Each policy gets
+    its own :class:`~repro.serving.cache.PlanCache` so cache counters stay
+    comparable.
+    """
+    results = {}
+    for admission in ADMISSION_MODES:
+        results[admission] = serve_continuous(
+            requests,
+            config=config,
+            backend=backend,
+            num_shards=num_shards,
+            max_batch_size=max_batch_size,
+            iteration_rows=iteration_rows,
+            admission=admission,
+            plan_cache=PlanCache(),
+        )
+    return ScenarioComparison(continuous=results["continuous"], drain=results["drain"])

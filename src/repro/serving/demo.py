@@ -3,11 +3,23 @@
 Generates a mixed-shape request set, serves it through a batched multi-shard
 engine, and prints the :class:`~repro.serving.stats.ServingStats` table.  With
 ``--compare`` it also serves the same requests sequentially (one shard, batch
-size one) so the batching + sharding speedup is visible from the shell:
+size one) so the batching + sharding speedup is visible from the shell, in
+both requests/sec and the backend-independent head-rows/sec:
 
 .. code-block:: console
 
     $ repro-serve --backend analytical --shards 4 --requests 64 --compare
+
+``--mode continuous`` switches to the iteration-level scheduler of
+:mod:`repro.serving.continuous`: requests arrive over a seeded Poisson trace
+at ``--load`` times the pool's saturation rate, are admitted mid-flight as
+slots free, and the table gains occupancy plus simulated queue/latency
+percentiles.  ``--compare`` then runs the same trace under drain admission on
+the same simulated clock and prints the continuous-over-drain speedup:
+
+.. code-block:: console
+
+    $ repro-serve --mode continuous --backend analytical --requests 64 --compare
 """
 
 from __future__ import annotations
@@ -17,6 +29,13 @@ import argparse
 from repro.core.config import SWATConfig
 from repro.serving.backends import REGISTRY, available_backends
 from repro.serving.cache import PlanCache
+from repro.serving.continuous import (
+    DEFAULT_ITERATION_ROWS,
+    compare_modes,
+    poisson_arrivals,
+    serve_continuous,
+    swat_request_rate,
+)
 from repro.serving.engine import ServingEngine, ServingResult
 from repro.serving.request import make_requests
 
@@ -37,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="execution backend (default: analytical)",
     )
+    parser.add_argument(
+        "--mode",
+        default="drain",
+        choices=ServingEngine.MODES,
+        help="dispatch mode: drain batches or continuous iteration-level "
+        "admission (default: drain)",
+    )
     parser.add_argument("--shards", type=int, default=2, help="accelerator shards (default: 2)")
     parser.add_argument(
         "--batch-size", type=int, default=8, help="max dynamic batch size (default: 8)"
@@ -56,9 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="data seed (default: 0)")
     parser.add_argument(
+        "--load",
+        type=float,
+        default=3.0,
+        help="continuous mode: Poisson arrival rate as a multiple of the "
+        "pool's saturation rate (default: 3.0)",
+    )
+    parser.add_argument(
+        "--iteration-rows",
+        type=int,
+        default=DEFAULT_ITERATION_ROWS,
+        help="continuous mode: rows each resident request advances per "
+        f"iteration (default: {DEFAULT_ITERATION_ROWS})",
+    )
+    parser.add_argument(
         "--compare",
         action="store_true",
-        help="also run sequential single-shard dispatch and print the speedup",
+        help="drain mode: also run sequential single-shard dispatch; "
+        "continuous mode: also run drain admission on the same clock",
     )
     return parser
 
@@ -80,21 +121,28 @@ def _serve(
     return engine.serve(requests)
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.shards <= 0:
-        parser.error(f"--shards must be positive, got {args.shards}")
-    if args.batch_size <= 0:
-        parser.error(f"--batch-size must be positive, got {args.batch_size}")
-    if args.requests < 0:
-        parser.error(f"--requests must be non-negative, got {args.requests}")
-    config = SWATConfig.longformer(window_tokens=args.window_tokens)
+def _speedup_lines(label: str, fast: ServingResult, slow: ServingResult) -> "list[str]":
+    """Requests/sec and head-rows/sec comparison lines for ``--compare``."""
+    lines = []
+    fast_rps = fast.stats.requests_per_second
+    slow_rps = slow.stats.requests_per_second
+    if slow_rps > 0:
+        lines.append(f"{label}: {fast_rps / slow_rps:.2f}x requests/sec")
+    fast_rows = fast.stats.head_rows_per_second
+    slow_rows = slow.stats.head_rows_per_second
+    if slow_rows > 0:
+        lines.append(
+            f"head-rows/sec: {fast_rows:.3g} vs {slow_rows:.3g} "
+            f"({fast_rows / slow_rows:.2f}x)"
+        )
+    return lines
+
+
+def _run_drain(args, config: SWATConfig) -> int:
     seq_lens = [args.seq_lens[index % len(args.seq_lens)] for index in range(args.requests)]
     functional = REGISTRY.backend_class(args.backend).functional
     requests = make_requests(seq_lens, config.head_dim, seed=args.seed, functional=functional)
 
-    print(f"config: {config.describe()}")
     print(f"serving {len(requests)} requests on {args.shards} shard(s), "
           f"batch size {args.batch_size}, backend {args.backend!r}\n")
     result = _serve(config, requests, args.backend, args.shards, args.batch_size)
@@ -104,11 +152,87 @@ def main(argv: "list[str] | None" = None) -> int:
         sequential = _serve(config, requests, args.backend, 1, 1)
         print()
         print(sequential.stats.to_table("Sequential single-shard dispatch").render())
-        batched_rps = result.stats.requests_per_second
-        sequential_rps = sequential.stats.requests_per_second
-        if sequential_rps > 0:
-            print(f"\nbatched multi-shard speedup: {batched_rps / sequential_rps:.2f}x requests/sec")
+        print()
+        for line in _speedup_lines("batched multi-shard speedup", result, sequential):
+            print(line)
     return 0
+
+
+def _run_continuous(args, config: SWATConfig) -> int:
+    seq_lens = [args.seq_lens[index % len(args.seq_lens)] for index in range(args.requests)]
+    if seq_lens:
+        rate = args.load * swat_request_rate(
+            config, seq_lens, num_shards=args.shards, max_batch_size=args.batch_size
+        )
+        arrival_times = poisson_arrivals(len(seq_lens), rate, seed=args.seed)
+    else:
+        arrival_times = []
+    functional = REGISTRY.backend_class(args.backend).functional
+    requests = make_requests(
+        seq_lens,
+        config.head_dim,
+        seed=args.seed,
+        functional=functional,
+        arrival_times=arrival_times,
+    )
+
+    print(f"serving {len(requests)} requests on {args.shards} shard(s), "
+          f"{args.batch_size} slots, backend {args.backend!r}, "
+          f"continuous admission (Poisson load x{args.load:g})\n")
+    if args.compare:
+        comparison = compare_modes(
+            requests,
+            config=config,
+            backend=args.backend,
+            num_shards=args.shards,
+            max_batch_size=args.batch_size,
+            iteration_rows=args.iteration_rows,
+        )
+        print(comparison.continuous.stats.to_table("Continuous admission").render())
+        print()
+        print(comparison.drain.stats.to_table("Drain admission (same clock)").render())
+        print()
+        for line in _speedup_lines(
+            "continuous-over-drain speedup", comparison.continuous, comparison.drain
+        ):
+            print(line)
+        return 0
+    result = serve_continuous(
+        requests,
+        config=config,
+        backend=args.backend,
+        num_shards=args.shards,
+        max_batch_size=args.batch_size,
+        iteration_rows=args.iteration_rows,
+        plan_cache=PlanCache(),
+    )
+    print(result.stats.to_table("Continuous admission").render())
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.shards <= 0:
+        parser.error(f"--shards must be positive, got {args.shards}")
+    if args.batch_size <= 0:
+        parser.error(f"--batch-size must be positive, got {args.batch_size}")
+    if args.requests < 0:
+        parser.error(f"--requests must be non-negative, got {args.requests}")
+    if args.load <= 0:
+        parser.error(f"--load must be positive, got {args.load}")
+    if args.iteration_rows <= 0:
+        parser.error(f"--iteration-rows must be positive, got {args.iteration_rows}")
+    if args.mode == "continuous" and not REGISTRY.backend_class(args.backend).supports_continuous:
+        parser.error(
+            f"--backend {args.backend} has no modelled per-iteration clock "
+            f"(its clock is measured host time) and cannot serve in continuous mode"
+        )
+    config = SWATConfig.longformer(window_tokens=args.window_tokens)
+    print(f"config: {config.describe()}")
+    if args.mode == "continuous":
+        return _run_continuous(args, config)
+    return _run_drain(args, config)
 
 
 if __name__ == "__main__":

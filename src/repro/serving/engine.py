@@ -15,6 +15,12 @@ Two clocks are kept: the *device* clock (modelled accelerator busy time per
 shard — shards run in parallel, so the pool finishes at the busiest shard's
 makespan) and the *wall* clock (measured host time; batch execution runs in
 worker threads via ``asyncio.to_thread`` so shards genuinely overlap).
+
+This drain path is one of two dispatch modes: ``ServingEngine(mode=
+"continuous")`` routes :meth:`ServingEngine.serve` to the iteration-level
+scheduler of :mod:`repro.serving.continuous`, which admits and retires
+requests between pipeline iterations on a deterministic simulated clock.
+The drain path is untouched by that mode and stays bit-identical.
 """
 
 from __future__ import annotations
@@ -35,11 +41,18 @@ __all__ = ["ServingResult", "ServingEngine"]
 
 @dataclass(frozen=True)
 class ServingResult:
-    """Everything one serving run produced."""
+    """Everything one serving run produced.
+
+    Drain-mode runs fill ``batches`` (one record per dispatched batch);
+    continuous-mode runs fill ``iterations`` instead (one
+    :class:`~repro.serving.continuous.IterationRecord` per priced pipeline
+    iteration).
+    """
 
     completed: "list[CompletedRequest]"
     stats: ServingStats
     batches: "tuple[BatchRecord, ...]"
+    iterations: tuple = ()
 
     def output_for(self, request: AttentionRequest):
         """Return the output served for ``request``.
@@ -57,6 +70,9 @@ class ServingResult:
 class ServingEngine:
     """Serves attention requests over a pool of sharded accelerator backends."""
 
+    #: Dispatch modes :meth:`serve` understands.
+    MODES = ("drain", "continuous")
+
     def __init__(
         self,
         config: "SWATConfig | None" = None,
@@ -64,14 +80,20 @@ class ServingEngine:
         num_shards: int = 2,
         max_batch_size: int = 8,
         plan_cache: "PlanCache | None" = None,
+        mode: str = "drain",
+        iteration_rows: "int | None" = None,
     ):
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         self.config = config if config is not None else SWATConfig()
         self.backend_name = backend
         self.num_shards = num_shards
         self.max_batch_size = max_batch_size
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.mode = mode
+        self.iteration_rows = iteration_rows
         self.shards: "list[AttentionBackend]" = [
             create_backend(backend, config=self.config, plan_cache=self.plan_cache)
             for _ in range(num_shards)
@@ -82,7 +104,34 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
 
     def serve(self, requests: "list[AttentionRequest]") -> ServingResult:
-        """Serve ``requests`` to completion and return outputs plus stats."""
+        """Serve ``requests`` to completion and return outputs plus stats.
+
+        ``mode="drain"`` runs the async batch-drain pool below;
+        ``mode="continuous"`` runs the deterministic iteration-level
+        scheduler of :mod:`repro.serving.continuous` on the simulated clock
+        (request ``arrival_time``\\ s are honoured; everything defaults to
+        arriving at time 0).
+        """
+        if self.mode == "continuous":
+            # Imported lazily: repro.serving.continuous imports ServingResult
+            # from this module.
+            from repro.serving.continuous import DEFAULT_ITERATION_ROWS, serve_continuous
+
+            return serve_continuous(
+                requests,
+                config=self.config,
+                backend=self.backend_name,
+                num_shards=self.num_shards,
+                max_batch_size=self.max_batch_size,
+                iteration_rows=(
+                    self.iteration_rows
+                    if self.iteration_rows is not None
+                    else DEFAULT_ITERATION_ROWS
+                ),
+                admission="continuous",
+                plan_cache=self.plan_cache,
+                backends=self.shards,
+            )
         return asyncio.run(self.serve_async(requests))
 
     # ------------------------------------------------------------------ #

@@ -46,6 +46,12 @@ class AttentionRequest:
         remaining ``num_heads - 1`` heads are identical in cost but carry no
         data; with 3-D data the stack depth must equal ``num_heads``
         (``num_heads`` left at 1 adopts the stack depth).
+    arrival_time:
+        Simulated-clock instant (device seconds) the request becomes visible
+        to the scheduler.  The drain path serves whatever it is handed and
+        ignores it; the continuous engine admits a request only once its
+        shard's :class:`~repro.serving.continuous.ServingClock` has reached
+        this instant.
     request_id:
         Monotonically increasing identifier (assigned automatically).
     """
@@ -55,6 +61,7 @@ class AttentionRequest:
     k: "np.ndarray | None" = None
     v: "np.ndarray | None" = None
     num_heads: int = 1
+    arrival_time: float = 0.0
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
     def __post_init__(self) -> None:
@@ -62,6 +69,8 @@ class AttentionRequest:
             raise ValueError(f"seq_len must be positive, got {self.seq_len}")
         if self.num_heads <= 0:
             raise ValueError(f"num_heads must be positive, got {self.num_heads}")
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be non-negative, got {self.arrival_time}")
         provided = [x is not None for x in (self.q, self.k, self.v)]
         if any(provided) and not all(provided):
             raise ValueError("q, k, v must be provided together or not at all")
@@ -111,10 +120,17 @@ class CompletedRequest:
     shard:
         Index of the accelerator shard that executed the batch.
     batch_id, batch_size:
-        The dispatch batch this request rode in.
+        The dispatch batch this request rode in.  Continuous-mode
+        completions report the admitting iteration's index and residency.
     device_seconds:
         Modelled (or, for software backends, measured) accelerator busy time
-        of the whole batch.
+        of the whole batch (continuous mode: summed over the iterations this
+        request was resident in — residents share an iteration's clock, so
+        the duration counts fully for each of them).
+    arrival_time, admit_time, finish_time:
+        Simulated-clock lifecycle instants (continuous mode only; the drain
+        path leaves them at 0).  ``admit_time - arrival_time`` is the queue
+        wait, ``finish_time - arrival_time`` the request latency.
     """
 
     request: AttentionRequest
@@ -123,6 +139,19 @@ class CompletedRequest:
     batch_id: int
     batch_size: int
     device_seconds: float
+    arrival_time: float = 0.0
+    admit_time: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def queue_seconds(self) -> float:
+        """Simulated wait between arrival and admission (continuous mode)."""
+        return self.admit_time - self.arrival_time
+
+    @property
+    def latency_seconds(self) -> float:
+        """Simulated arrival-to-completion latency (continuous mode)."""
+        return self.finish_time - self.arrival_time
 
 
 def make_request(
@@ -132,6 +161,7 @@ def make_request(
     num_heads: int = 1,
     functional: bool = True,
     stacked_heads: bool = False,
+    arrival_time: float = 0.0,
 ) -> AttentionRequest:
     """Build one request, with random Q/K/V data when ``functional``.
 
@@ -140,16 +170,20 @@ def make_request(
     of data and accounts the rest as identical in cost.
     """
     if not functional:
-        return AttentionRequest(seq_len=seq_len, num_heads=num_heads)
+        return AttentionRequest(seq_len=seq_len, num_heads=num_heads, arrival_time=arrival_time)
     if stacked_heads:
         heads = [
             attention_inputs(seq_len, head_dim, seed=seed * 1000 + head)
             for head in range(num_heads)
         ]
         q, k, v = (np.stack([head[axis] for head in heads]) for axis in range(3))
-        return AttentionRequest(seq_len=seq_len, q=q, k=k, v=v, num_heads=num_heads)
+        return AttentionRequest(
+            seq_len=seq_len, q=q, k=k, v=v, num_heads=num_heads, arrival_time=arrival_time
+        )
     q, k, v = attention_inputs(seq_len, head_dim, seed=seed)
-    return AttentionRequest(seq_len=seq_len, q=q, k=k, v=v, num_heads=num_heads)
+    return AttentionRequest(
+        seq_len=seq_len, q=q, k=k, v=v, num_heads=num_heads, arrival_time=arrival_time
+    )
 
 
 def make_requests(
@@ -157,9 +191,26 @@ def make_requests(
     head_dim: int,
     seed: int = 0,
     functional: bool = True,
+    arrival_times: "list[float] | None" = None,
 ) -> "list[AttentionRequest]":
-    """Build one request per entry of ``seq_lens`` with distinct data seeds."""
+    """Build one request per entry of ``seq_lens`` with distinct data seeds.
+
+    ``arrival_times`` (one instant per request, e.g. a trace from
+    :func:`repro.serving.continuous.poisson_arrivals`) stamps each request
+    for the continuous engine's simulated clock; omitted, everything arrives
+    at time 0.
+    """
+    if arrival_times is not None and len(arrival_times) != len(seq_lens):
+        raise ValueError(
+            f"arrival_times has {len(arrival_times)} entries for {len(seq_lens)} requests"
+        )
     return [
-        make_request(seq_len, head_dim, seed=seed + index, functional=functional)
+        make_request(
+            seq_len,
+            head_dim,
+            seed=seed + index,
+            functional=functional,
+            arrival_time=arrival_times[index] if arrival_times is not None else 0.0,
+        )
         for index, seq_len in enumerate(seq_lens)
     ]

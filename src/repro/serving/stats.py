@@ -15,7 +15,23 @@ from dataclasses import dataclass
 
 from repro.analysis.report import Table
 
-__all__ = ["BatchRecord", "ServingStats"]
+__all__ = ["BatchRecord", "ServingStats", "percentile"]
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Deterministic nearest-rank percentile (``q`` in [0, 100]).
+
+    The serving layer's latency reporting helper: no interpolation, so the
+    returned value is always one actually observed — and the simulated-clock
+    tests can assert on it exactly.  Returns 0.0 for an empty sample.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be within [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil(q/100 * n), clamped to >= 1
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -59,6 +75,23 @@ class ServingStats:
     total_head_rows:
         Accounted ``num_heads * seq_len`` units served across all batches —
         the backend-independent volume behind the throughput numbers.
+    mode:
+        Admission policy of the run: ``"drain"`` (the default batch-drain
+        engine) or ``"continuous"`` (iteration-level admission/retirement).
+    num_iterations:
+        Priced iterations of a continuous-clock run (0 on the drain path,
+        whose dispatches are whole batches; ``num_batches`` then counts
+        iterations instead of drain batches).
+    mean_occupancy:
+        Mean resident requests per iteration as a fraction of
+        ``max_batch_size`` slots (continuous-clock runs only) — the
+        slot-utilisation number head-of-line blocking depresses.
+    queue_p50_seconds, queue_p95_seconds:
+        Percentiles of the simulated wait between a request's arrival and
+        its admission into a running batch (time to first scheduled slice —
+        the TTFT analogue of this serving model).
+    latency_p50_seconds, latency_p95_seconds:
+        Percentiles of simulated arrival-to-completion request latency.
     """
 
     backend: str
@@ -73,6 +106,13 @@ class ServingStats:
     cache_hits: int
     cache_misses: int
     total_head_rows: int = 0
+    mode: str = "drain"
+    num_iterations: int = 0
+    mean_occupancy: float = 0.0
+    queue_p50_seconds: float = 0.0
+    queue_p95_seconds: float = 0.0
+    latency_p50_seconds: float = 0.0
+    latency_p95_seconds: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -118,17 +158,38 @@ class ServingStats:
         return self.cache_hits / total if total else 0.0
 
     def to_table(self, title: "str | None" = None) -> Table:
-        """Render the stats as a (metric, value) table."""
+        """Render the stats as a (metric, value) table.
+
+        Drain-path rendering is unchanged; continuous-clock runs
+        (``num_iterations > 0``) swap the batch-shape rows for iteration
+        count, slot occupancy and the simulated queue/latency percentiles.
+        """
         balance = min(self.shard_utilisation) if self.shard_busy_seconds else 0.0
-        return Table.from_mapping(
-            title if title is not None else f"Serving stats ({self.backend})",
+        rows: "dict[str, object]" = {"backend": self.backend, "requests": self.num_requests}
+        if self.num_iterations > 0:
+            rows.update(
+                {
+                    "mode": self.mode,
+                    "iterations": self.num_iterations,
+                    "shards": self.num_shards,
+                    "mean occupancy (slots)": self.mean_occupancy,
+                    "queue wait p50 [s]": self.queue_p50_seconds,
+                    "queue wait p95 [s]": self.queue_p95_seconds,
+                    "latency p50 [s]": self.latency_p50_seconds,
+                    "latency p95 [s]": self.latency_p95_seconds,
+                }
+            )
+        else:
+            rows.update(
+                {
+                    "batches": self.num_batches,
+                    "shards": self.num_shards,
+                    "mean batch size": self.mean_batch_size,
+                    "batch occupancy": self.batch_occupancy,
+                }
+            )
+        rows.update(
             {
-                "backend": self.backend,
-                "requests": self.num_requests,
-                "batches": self.num_batches,
-                "shards": self.num_shards,
-                "mean batch size": self.mean_batch_size,
-                "batch occupancy": self.batch_occupancy,
                 "device makespan [s]": self.device_makespan_seconds,
                 "requests/sec (device)": self.requests_per_second,
                 "requests/sec (wall)": self.wall_requests_per_second,
@@ -136,7 +197,10 @@ class ServingStats:
                 "shard balance (min util)": balance,
                 "energy [J]": self.total_energy_joules,
                 "plan-cache hit rate": self.cache_hit_rate,
-            },
+            }
+        )
+        return Table.from_mapping(
+            title if title is not None else f"Serving stats ({self.backend})", rows
         )
 
     def render(self) -> str:

@@ -1,0 +1,434 @@
+"""Property suite for continuous batching and its simulated-clock harness.
+
+The load-bearing contracts of iteration-level scheduling:
+
+* **Bit-identity** — for any seeded arrival trace, continuous-mode outputs
+  are bit-identical per request to running each request alone through the
+  same backend (the stacked executor's contract carried through admission
+  and retirement).
+* **Conservation** — every admitted request retires exactly once, occupancy
+  never exceeds ``max_batch_size``, rows advanced sum to each request's
+  total, and per-iteration priced cycles sum to the batch total a drained
+  stream of the same gating rows would cost (no double-charged fill).
+* **Determinism** — the same seeded trace replays the same iterations,
+  clocks and stats bit-for-bit; no scheduling decision reads the wall clock.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SWATConfig
+from repro.core.pipeline import SWATPipelineModel
+from repro.serving.backends import create_backend
+from repro.serving.continuous import (
+    ContinuousBatcher,
+    ServingClock,
+    bursty_arrivals,
+    compare_modes,
+    poisson_arrivals,
+    serve_continuous,
+    swat_request_rate,
+)
+from repro.serving.engine import ServingEngine
+from repro.serving.request import AttentionRequest, make_requests
+from repro.serving.stats import percentile
+
+HEAD_DIM = 8
+
+
+def _config(**overrides):
+    defaults = dict(head_dim=HEAD_DIM, window_tokens=8)
+    defaults.update(overrides)
+    return SWATConfig(**defaults)
+
+
+# One trace spec: sequence lengths (mixed, spanning buckets), arrival seed,
+# slot count and iteration quantum — everything the scheduler branches on.
+trace_strategy = st.tuples(
+    st.lists(st.sampled_from([5, 8, 16, 24, 33, 48]), min_size=1, max_size=12),
+    st.integers(0, 2**16),
+    st.integers(1, 4),
+    st.sampled_from([4, 16, 64]),
+)
+
+
+def _trace_requests(seq_lens, arrival_seed, functional=True, rate=None):
+    config = _config()
+    if rate is None:
+        rate = 3.0 * swat_request_rate(config, seq_lens)
+    arrivals = poisson_arrivals(len(seq_lens), rate, seed=arrival_seed)
+    return make_requests(
+        seq_lens,
+        config.head_dim,
+        seed=arrival_seed,
+        functional=functional,
+        arrival_times=arrivals,
+    )
+
+
+class TestBitIdentity:
+    @settings(deadline=None, max_examples=25)
+    @given(trace=trace_strategy)
+    def test_outputs_match_solo_execution_bitwise(self, trace):
+        seq_lens, arrival_seed, max_batch_size, iteration_rows = trace
+        config = _config()
+        requests = _trace_requests(seq_lens, arrival_seed)
+        result = serve_continuous(
+            requests,
+            config=config,
+            backend="simulator",
+            max_batch_size=max_batch_size,
+            iteration_rows=iteration_rows,
+        )
+        solo = create_backend("simulator", config=config)
+        assert len(result.completed) == len(requests)
+        for done in result.completed:
+            reference = solo.execute(done.request).outputs[0]
+            assert np.array_equal(done.output, reference)
+
+    def test_outputs_match_drain_engine_bitwise(self):
+        config = _config()
+        requests = _trace_requests([16, 24, 33, 16, 48, 8], arrival_seed=7)
+        continuous = serve_continuous(
+            requests, config=config, backend="simulator", max_batch_size=3, iteration_rows=16
+        )
+        drain = ServingEngine(
+            config=config, backend="simulator", num_shards=1, max_batch_size=3
+        ).serve(requests)
+        for cont_done, drain_done in zip(continuous.completed, drain.completed):
+            assert cont_done.request.request_id == drain_done.request.request_id
+            assert np.array_equal(cont_done.output, drain_done.output)
+
+
+class TestConservation:
+    @settings(deadline=None, max_examples=25)
+    @given(trace=trace_strategy, num_shards=st.integers(1, 3))
+    def test_invariants_hold_for_any_trace(self, trace, num_shards):
+        seq_lens, arrival_seed, max_batch_size, iteration_rows = trace
+        config = _config()
+        requests = _trace_requests(seq_lens, arrival_seed, functional=False)
+        result = serve_continuous(
+            requests,
+            config=config,
+            backend="analytical",
+            num_shards=num_shards,
+            max_batch_size=max_batch_size,
+            iteration_rows=iteration_rows,
+        )
+        pipeline = SWATPipelineModel(config)
+        backend = create_backend("analytical", config=config)
+
+        # Every submitted request is admitted exactly once and retires
+        # exactly once.
+        admitted = [rid for record in result.iterations for rid in record.admitted]
+        retired = [rid for record in result.iterations for rid in record.retired]
+        expected_ids = sorted(request.request_id for request in requests)
+        assert sorted(admitted) == expected_ids
+        assert sorted(retired) == expected_ids
+
+        # Occupancy never exceeds the slot bound.
+        for record in result.iterations:
+            assert 1 <= len(record.resident) <= max_batch_size
+            assert record.occupancy == len(record.resident) / max_batch_size
+
+        # Each request's slices sum to its total row work.
+        rows_advanced: "dict[int, int]" = {}
+        for record in result.iterations:
+            for request_id, rows in record.resident:
+                assert 0 < rows <= iteration_rows
+                rows_advanced[request_id] = rows_advanced.get(request_id, 0) + rows
+        for request in requests:
+            assert rows_advanced[request.request_id] == backend.request_rows(request)
+
+        # No double-charged fill: per busy period, the per-iteration cycles
+        # sum bit-exactly to what one drained stream of the same gating rows
+        # would cost (fill + (rows - 1) * II).
+        for shard in range(num_shards):
+            period_cycles = 0
+            period_rows = 0
+            for record in result.iterations:
+                if record.shard != shard:
+                    continue
+                if not record.primed and period_rows:
+                    assert period_cycles == pipeline.cycles_for_rows(period_rows)
+                    period_cycles = period_rows = 0
+                period_cycles += record.cycles
+                period_rows += record.gate_rows
+            if period_rows:
+                assert period_cycles == pipeline.cycles_for_rows(period_rows)
+
+    def test_solo_request_costs_exactly_one_dispatch(self):
+        # Slicing a lone request across iterations must not change its
+        # modelled cost: the fill is paid once, then rows stream at the II —
+        # bit-exactly the batch-of-one pricing of the drain path
+        # (``batch_attention_cycles``, heads streamed back to back).
+        config = _config()
+        request = AttentionRequest(seq_len=100, num_heads=3, arrival_time=0.0)
+        result = serve_continuous(
+            [request], config=config, backend="analytical", iteration_rows=17
+        )
+        pipeline = SWATPipelineModel(config)
+        total_cycles = sum(record.cycles for record in result.iterations)
+        assert total_cycles == pipeline.batch_attention_cycles(
+            [(request.seq_len, request.num_heads)]
+        )
+
+
+class TestDeterminism:
+    def test_same_trace_replays_bit_for_bit(self):
+        config = _config()
+        requests_a = _trace_requests([16, 33, 8, 48, 24, 16], arrival_seed=11)
+        requests_b = _trace_requests([16, 33, 8, 48, 24, 16], arrival_seed=11)
+        results = [
+            serve_continuous(
+                requests,
+                config=config,
+                backend="analytical",
+                num_shards=2,
+                max_batch_size=2,
+                iteration_rows=16,
+            )
+            for requests in (requests_a, requests_b)
+        ]
+        first, second = results
+        assert first.stats.device_makespan_seconds == second.stats.device_makespan_seconds
+        assert first.stats.latency_p95_seconds == second.stats.latency_p95_seconds
+        assert len(first.iterations) == len(second.iterations)
+        for record_a, record_b in zip(first.iterations, second.iterations):
+            assert record_a.shard == record_b.shard
+            assert record_a.cycles == record_b.cycles
+            assert record_a.gate_rows == record_b.gate_rows
+            assert [rows for _, rows in record_a.resident] == [
+                rows for _, rows in record_b.resident
+            ]
+
+    def test_seeded_arrival_generators_replay(self):
+        assert poisson_arrivals(16, rate=100.0, seed=3) == poisson_arrivals(
+            16, rate=100.0, seed=3
+        )
+        first = bursty_arrivals(16, burst_size=4, burst_gap=0.5, seed=3, jitter=0.01)
+        second = bursty_arrivals(16, burst_size=4, burst_gap=0.5, seed=3, jitter=0.01)
+        assert first == second
+        arrivals = poisson_arrivals(64, rate=10.0, seed=0)
+        assert arrivals == sorted(arrivals)
+        assert all(instant >= 0 for instant in arrivals)
+
+
+class TestHeadOfLineBlocking:
+    def test_continuous_beats_drain_on_mixed_lengths(self):
+        # The motivating scenario: short requests stuck behind a long one.
+        config = _config()
+        seq_lens = [8, 8, 8, 48] * 16
+        rate = 4.0 * swat_request_rate(config, seq_lens, max_batch_size=4)
+        arrivals = poisson_arrivals(len(seq_lens), rate, seed=5)
+        requests = make_requests(
+            seq_lens, config.head_dim, functional=False, arrival_times=arrivals
+        )
+        comparison = compare_modes(
+            requests, config=config, backend="analytical", max_batch_size=4, iteration_rows=8
+        )
+        assert comparison.speedup > 1.2
+        assert comparison.continuous.stats.mean_occupancy > comparison.drain.stats.mean_occupancy
+
+    def test_uniform_traffic_shows_no_policy_gap(self):
+        # Same-length requests leave nothing for mid-flight admission to
+        # reclaim: both policies keep the slots full.
+        config = _config()
+        seq_lens = [32] * 32
+        rate = 4.0 * swat_request_rate(config, seq_lens, max_batch_size=4)
+        arrivals = poisson_arrivals(len(seq_lens), rate, seed=9)
+        requests = make_requests(
+            seq_lens, config.head_dim, functional=False, arrival_times=arrivals
+        )
+        comparison = compare_modes(
+            requests, config=config, backend="analytical", max_batch_size=4, iteration_rows=32
+        )
+        assert comparison.speedup == pytest.approx(1.0, rel=0.05)
+
+
+class TestEngineMode:
+    def test_engine_routes_continuous_mode(self):
+        config = _config()
+        requests = make_requests([16, 24, 16, 33], config.head_dim, seed=0)
+        engine = ServingEngine(
+            config=config,
+            backend="simulator",
+            num_shards=1,
+            max_batch_size=2,
+            mode="continuous",
+            iteration_rows=16,
+        )
+        result = engine.serve(requests)
+        assert result.stats.mode == "continuous"
+        assert result.stats.num_iterations == len(result.iterations) > 0
+        assert all(done.output is not None for done in result.completed)
+        assert result.batches == ()
+
+    def test_drain_mode_is_default_and_unmarked(self):
+        config = _config()
+        engine = ServingEngine(config=config, backend="analytical", num_shards=1)
+        result = engine.serve(make_requests([16, 24], config.head_dim, functional=False))
+        assert engine.mode == "drain"
+        assert result.stats.mode == "drain"
+        assert result.stats.num_iterations == 0
+        assert result.iterations == ()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ServingEngine(config=_config(), mode="streaming")
+
+    def test_measured_clock_backend_rejected(self):
+        with pytest.raises(ValueError, match="measured host time"):
+            serve_continuous(
+                make_requests([16], HEAD_DIM, seed=0), config=_config(), backend="fused"
+            )
+
+
+class TestClockAndLatency:
+    def test_clock_only_moves_forward(self):
+        clock = ServingClock()
+        clock.advance(1.5)
+        clock.jump_to(1.0)  # already past: no-op
+        assert clock.now == 1.5
+        clock.jump_to(2.0)
+        assert clock.now == 2.0
+        assert clock.busy_seconds == 1.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_latency_accounting_orders_sanely(self):
+        config = _config()
+        seq_lens = [16, 33, 8, 48, 24, 16, 8, 33]
+        requests = _trace_requests(seq_lens, arrival_seed=2, functional=False)
+        result = serve_continuous(
+            requests, config=config, backend="analytical", max_batch_size=2, iteration_rows=16
+        )
+        for done in result.completed:
+            assert done.admit_time >= done.arrival_time
+            assert done.finish_time > done.admit_time
+        stats = result.stats
+        assert 0 <= stats.queue_p50_seconds <= stats.queue_p95_seconds
+        assert 0 < stats.latency_p50_seconds <= stats.latency_p95_seconds
+        assert 0 < stats.mean_occupancy <= 1.0
+        table = stats.render()
+        assert "latency p95 [s]" in table
+        assert "mean occupancy (slots)" in table
+
+    def test_bursty_trace_queues_longer_than_trickle(self):
+        config = _config()
+        seq_lens = [16] * 24
+        burst = bursty_arrivals(len(seq_lens), burst_size=24, burst_gap=1.0)
+        trickle_rate = 0.5 * swat_request_rate(config, seq_lens, max_batch_size=2)
+        trickle = poisson_arrivals(len(seq_lens), trickle_rate, seed=1)
+        results = {}
+        for name, arrivals in (("burst", burst), ("trickle", trickle)):
+            requests = make_requests(
+                seq_lens, config.head_dim, functional=False, arrival_times=arrivals
+            )
+            results[name] = serve_continuous(
+                requests, config=config, backend="analytical", max_batch_size=2, iteration_rows=16
+            )
+        assert (
+            results["burst"].stats.queue_p95_seconds
+            > results["trickle"].stats.queue_p95_seconds
+        )
+
+
+class TestContinuousBatcher:
+    def test_admission_respects_arrival_times(self):
+        batcher = ContinuousBatcher(max_batch_size=4)
+        early = AttentionRequest(seq_len=8, arrival_time=0.0)
+        late = AttentionRequest(seq_len=8, arrival_time=5.0)
+        batcher.submit([late, early])
+        admitted = batcher.admit(0, now=1.0, rows_of=lambda request: request.seq_len)
+        assert [inflight.request.request_id for inflight in admitted] == [early.request_id]
+        assert batcher.next_arrival_time() == 5.0
+        assert not batcher.done
+
+    def test_drain_admission_waits_for_empty_shard(self):
+        batcher = ContinuousBatcher(max_batch_size=2, admission="drain")
+        requests = [AttentionRequest(seq_len=8) for _ in range(4)]
+        batcher.submit(requests)
+        first = batcher.admit(0, now=0.0, rows_of=lambda request: request.seq_len)
+        assert len(first) == 2
+        # Mid-batch: no admission even though slots could hold more work.
+        assert batcher.admit(0, now=0.0, rows_of=lambda request: request.seq_len) == []
+        for inflight in first:
+            inflight.rows_done = inflight.rows_total
+        batcher.retire_finished(0, now=1.0)
+        second = batcher.admit(0, now=1.0, rows_of=lambda request: request.seq_len)
+        assert len(second) == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ContinuousBatcher(max_batch_size=0)
+        with pytest.raises(ValueError, match="admission"):
+            ContinuousBatcher(max_batch_size=1, admission="eager")
+        with pytest.raises(ValueError, match="iteration_rows"):
+            serve_continuous([], config=_config(), backend="analytical", iteration_rows=0)
+        with pytest.raises(ValueError, match="backends"):
+            serve_continuous(
+                [],
+                config=_config(),
+                backend="analytical",
+                num_shards=2,
+                backends=[create_backend("analytical", config=_config())],
+            )
+
+    def test_free_slots_tracks_admission_policy(self):
+        continuous = ContinuousBatcher(max_batch_size=3)
+        drain = ContinuousBatcher(max_batch_size=3, admission="drain")
+        for batcher in (continuous, drain):
+            batcher.submit([AttentionRequest(seq_len=8) for _ in range(2)])
+            assert batcher.free_slots(0) == 3
+            batcher.admit(0, now=0.0, rows_of=lambda request: request.seq_len)
+        assert continuous.free_slots(0) == 1
+        assert drain.free_slots(0) == 0  # mid-batch: membership is fixed
+
+
+class TestAccounting:
+    def test_device_seconds_sums_this_requests_iterations(self):
+        config = _config()
+        requests = _trace_requests([16, 48, 8, 33], arrival_seed=4, functional=False)
+        result = serve_continuous(
+            requests, config=config, backend="analytical", max_batch_size=2, iteration_rows=8
+        )
+        for done in result.completed:
+            resident_seconds = sum(
+                record.seconds
+                for record in result.iterations
+                if done.request.request_id in dict(record.resident)
+            )
+            assert done.device_seconds == pytest.approx(resident_seconds)
+            assert done.device_seconds > 0
+
+    def test_engine_continuous_mode_reuses_its_shards(self):
+        config = _config()
+        engine = ServingEngine(
+            config=config, backend="simulator", num_shards=2, mode="continuous"
+        )
+        result = engine.serve(make_requests([32] * 6, config.head_dim, seed=0))
+        # One compile for the shape; every further lookup (either shard's
+        # retirement pass) hits the engine's pool-wide cache.
+        assert result.stats.cache_misses == 1
+
+    def test_request_rate_accounts_heads(self):
+        config = _config()
+        single = swat_request_rate(config, [64, 128])
+        double = swat_request_rate(config, [64, 128], num_heads=2)
+        assert double == pytest.approx(single / 2)
+        with pytest.raises(ValueError, match="num_heads"):
+            swat_request_rate(config, [64], num_heads=0)
+
+
+class TestPercentile:
+    def test_nearest_rank_semantics(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 50.0) == 2.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile([], 50.0) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 101.0)

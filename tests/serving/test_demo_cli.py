@@ -1,0 +1,73 @@
+"""Smoke tests for the ``repro-serve`` CLI in both dispatch modes."""
+
+import pytest
+
+from repro.serving.demo import build_parser, main
+
+
+class TestDrainCli:
+    def test_head_rows_column_renders(self, capsys):
+        assert main(["--backend", "analytical", "--requests", "8", "--seq-lens", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "head-rows/sec (device)" in out
+        assert "requests/sec (device)" in out
+
+    def test_compare_prints_head_rows_speedup(self, capsys):
+        argv = ["--backend", "analytical", "--requests", "8", "--seq-lens", "64", "128"]
+        assert main(argv + ["--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "batched multi-shard speedup" in out
+        assert out.count("head-rows/sec (device)") == 2  # both tables
+        assert "head-rows/sec:" in out  # the explicit comparison line
+
+
+class TestContinuousCli:
+    def test_continuous_table_renders(self, capsys):
+        argv = ["--mode", "continuous", "--backend", "analytical", "--requests", "8"]
+        assert main(argv + ["--seq-lens", "64", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "Continuous admission" in out
+        assert "mean occupancy (slots)" in out
+        assert "latency p95 [s]" in out
+        assert "head-rows/sec (device)" in out
+
+    def test_continuous_compare_prints_speedup(self, capsys):
+        argv = ["--mode", "continuous", "--backend", "analytical", "--requests", "16"]
+        argv += ["--seq-lens", "64", "256", "--batch-size", "2", "--compare"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Drain admission (same clock)" in out
+        assert "continuous-over-drain speedup" in out
+        assert "head-rows/sec:" in out
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--shards", "0"],
+            ["--batch-size", "0"],
+            ["--requests", "-1"],
+            ["--load", "0"],
+            ["--iteration-rows", "0"],
+            ["--mode", "streaming"],
+        ],
+    )
+    def test_bad_arguments_exit(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_continuous_rejects_measured_clock_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--mode", "continuous", "--backend", "fused", "--requests", "2"])
+        assert "measured host time" in capsys.readouterr().err
+
+    def test_continuous_zero_requests_exits_cleanly(self, capsys):
+        assert main(["--mode", "continuous", "--backend", "analytical", "--requests", "0"]) == 0
+        assert "Continuous admission" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.mode == "drain"
+        assert args.load == 3.0
+        assert args.iteration_rows > 0
