@@ -8,9 +8,10 @@ occupancy the dynamic batcher achieves on a mixed-shape arrival mix, and the
 wall-time saved by the plan cache on repeated same-shape requests.
 
 ``SERVING_THROUGHPUT_REQUESTS`` overrides the request count of the
-batched-vs-looped comparison and ``SERVING_CONTINUOUS_REQUESTS`` that of the
-continuous-vs-drain scenario; CI sets smaller counts so the speedup floors
-still gate every PR without paying the full measurement (smoke mode).
+batched-vs-looped comparison, ``SERVING_CONTINUOUS_REQUESTS`` that of the
+continuous-vs-drain scenario and ``SERVING_QUANTUM_SWEEP`` that of the
+iteration-quantum sweep; CI sets smaller counts so the speedup floors still
+gate every PR without paying the full measurement (smoke mode).
 """
 
 import os
@@ -186,6 +187,66 @@ def test_continuous_batching_beats_drain_on_mixed_length_trace(benchmark):
     assert comparison.speedup >= CONTINUOUS_SPEEDUP_FLOOR
     assert bursty.speedup >= CONTINUOUS_SPEEDUP_FLOOR
     assert continuous.mean_occupancy > drain.mean_occupancy
+
+
+def test_iteration_rows_quantum_sweep(benchmark):
+    """ROADMAP follow-up: sweep the continuous engine's iteration quantum.
+
+    ``iteration_rows`` trades scheduling granularity (small quanta refill
+    freed slots sooner) against per-iteration bookkeeping (every iteration
+    is one ``step`` pricing plus one admission pass).  The sweep serves one
+    seeded overloaded mixed-length trace at each quantum on the same
+    simulated clock and reports modelled requests/sec per quantum —
+    everything deterministic, so the table is reproducible bit for bit.
+    ``SERVING_QUANTUM_SWEEP`` caps the trace length in CI (smoke mode).
+    """
+    config = SWATConfig.longformer(window_tokens=128)
+    count = max(16, int(os.environ.get("SERVING_QUANTUM_SWEEP", "256")) // 4 * 4)
+    seq_lens = [256, 256, 512, 2048] * (count // 4)
+    num_shards, max_batch_size = 2, 8
+    rate = 5.0 * swat_request_rate(
+        config, seq_lens, num_shards=num_shards, max_batch_size=max_batch_size
+    )
+    requests = make_requests(
+        seq_lens,
+        config.head_dim,
+        functional=False,
+        arrival_times=poisson_arrivals(count, rate, seed=0),
+    )
+
+    quanta = (32, 64, 128, 256, 512)
+
+    def serve_at(quantum):
+        return serve_continuous(
+            requests,
+            config=config,
+            backend="analytical",
+            num_shards=num_shards,
+            max_batch_size=max_batch_size,
+            iteration_rows=quantum,
+            plan_cache=PlanCache(),
+        )
+
+    results = {quantum: serve_at(quantum) for quantum in quanta}
+    benchmark(serve_at, 128)
+
+    print(f"\niteration-rows quantum sweep ({count} requests, Poisson x5 load):")
+    for quantum, result in results.items():
+        stats = result.stats
+        print(
+            f"  quantum {quantum:>4}: {stats.requests_per_second:8.0f} req/s, "
+            f"{stats.num_iterations:5d} iterations, "
+            f"occupancy {stats.mean_occupancy:.0%}, "
+            f"latency p95 {stats.latency_p95_seconds * 1e3:.2f} ms"
+        )
+
+    for quantum, result in results.items():
+        # Every quantum serves the full trace with positive modelled
+        # throughput; coarser quanta never do more iterations than finer.
+        assert len(result.completed) == count, quantum
+        assert result.stats.requests_per_second > 0, quantum
+    iteration_counts = [results[quantum].stats.num_iterations for quantum in quanta]
+    assert iteration_counts == sorted(iteration_counts, reverse=True)
 
 
 def test_drain_mode_stays_bit_identical_under_continuous_refactor():

@@ -10,11 +10,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-swat",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of SWAT (DAC 2024): window-attention FPGA acceleration, "
-        "with a compiled execution-plan IR and an async multi-accelerator "
-        "serving layer"
+        "with a compiled execution-plan IR, whole-model plan compilation and "
+        "an async multi-accelerator serving layer"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -21,9 +21,15 @@ gpu
     sliding-chunks attention.
 baselines
     The Butterfly FPGA accelerator baseline and a generic dense FPGA baseline.
+model
+    Whole-model plan compilation and forward execution: ``ModelSpec`` ->
+    compiled ``ModelPlan`` (per-shape plan dedup across layers, model-wide
+    cycle/traffic prefix sums) and the stacked ``ModelExecutor`` forward,
+    bit-identical to the layer-by-layer ``repro.nn`` reference.
 serving
     Async multi-accelerator serving layer: pluggable backend registry,
-    dynamic batching across a shard pool, plan/schedule caching and
+    dynamic batching across a shard pool, whole-model forward requests,
+    continuous batching on a simulated clock, plan/schedule caching and
     serving-level throughput accounting (``repro-serve`` CLI).
 workload
     Transformer workload specifications and FLOPs/MOPs accounting.
@@ -39,7 +45,7 @@ experiments
 from repro.core.config import SWATConfig
 from repro.core.simulator import SWATSimulator, SimulationResult
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SWATConfig",

@@ -20,6 +20,7 @@ from repro.serving.backends import (
 from repro.serving.batcher import DynamicBatcher, seq_len_bucket
 from repro.serving.cache import CachedPlan, PlanCache, config_fingerprint
 from repro.serving.continuous import (
+    QUEUE_POLICIES,
     ContinuousBatcher,
     IterationRecord,
     ScenarioComparison,
@@ -31,7 +32,14 @@ from repro.serving.continuous import (
     swat_request_rate,
 )
 from repro.serving.engine import ServingEngine, ServingResult
-from repro.serving.request import AttentionRequest, CompletedRequest, make_request, make_requests
+from repro.serving.request import (
+    AttentionRequest,
+    CompletedRequest,
+    ForwardRequest,
+    make_forward_request,
+    make_request,
+    make_requests,
+)
 from repro.serving.stats import BatchRecord, ServingStats, percentile
 
 __all__ = [
@@ -47,6 +55,7 @@ __all__ = [
     "PlanCache",
     "config_fingerprint",
     "ContinuousBatcher",
+    "QUEUE_POLICIES",
     "IterationRecord",
     "ScenarioComparison",
     "ServingClock",
@@ -58,9 +67,11 @@ __all__ = [
     "ServingEngine",
     "ServingResult",
     "AttentionRequest",
+    "ForwardRequest",
     "CompletedRequest",
     "make_request",
     "make_requests",
+    "make_forward_request",
     "BatchRecord",
     "ServingStats",
     "percentile",

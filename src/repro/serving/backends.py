@@ -38,13 +38,28 @@ comparable across all backends regardless of their clock domain.
 Beside the drain-style ``execute_batch`` protocol, backends with a *modelled*
 clock expose iteration-level pricing for the continuous-batching engine
 (:mod:`repro.serving.continuous`): :meth:`AttentionBackend.step` prices one
-iteration of row slices so a batch's cost can be split across admissions —
-the pipeline fill is charged only when the pipeline was idle before the
-iteration (fill amortisation recomputed per iteration, never per drain), and
-the per-iteration cycles of a busy period sum exactly to what
-:meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles` would
-charge for the same rows streamed as one batch.  Backends whose clock is
-measured host time (``fused``) set ``supports_continuous = False``.
+iteration of ``(request, rows_done, rows)`` slices so a batch's cost can be
+split across admissions — the pipeline fill is charged only when the pipeline
+was idle before the iteration (fill amortisation recomputed per iteration,
+never per drain), and the per-iteration cycles of a busy period sum exactly
+to what :meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`
+would charge for the same rows streamed as one batch.  Backends whose clock
+is measured host time (``fused``) set ``supports_continuous = False``.
+
+Whole-model forwards
+--------------------
+Every backend also serves :class:`~repro.serving.request.ForwardRequest`\\ s:
+a request carrying a :class:`~repro.model.spec.ModelSpec` instead of one
+attention's Q/K/V.  Backends memoise one compiled
+:class:`~repro.model.plan.ModelPlan` per spec (pricing: per-layer + total
+cycles/bytes/energy off the plan's model-wide prefix sums) and one
+:class:`~repro.model.executor.ModelExecutor` per ``(spec, weight_seed)``
+(functional execution: same-spec forwards of a dispatch stack into one
+``(B, H, seq, head_dim)`` pass per layer) — the serving layer's model
+registry.  On the continuous clock a forward advances through its model-wide
+row axis; its slices are priced positionally
+(:meth:`~repro.model.plan.ModelPlan.span_cycles`), so layer-geometry switches
+pay their refill exactly once wherever the iteration boundaries fall.
 """
 
 from __future__ import annotations
@@ -65,8 +80,10 @@ from repro.core.power import PowerModel
 from repro.core.simulator import SWATSimulator
 from repro.gpu.chunked_runner import SlidingChunksAttentionGPU
 from repro.gpu.dense_runner import DenseAttentionGPU
+from repro.model.executor import ModelExecutor
+from repro.model.plan import ModelPlan, ModelPlanCompiler
 from repro.serving.cache import PlanCache
-from repro.serving.request import AttentionRequest
+from repro.serving.request import AttentionRequest, ForwardRequest
 
 __all__ = [
     "BackendResult",
@@ -80,6 +97,8 @@ __all__ = [
     "swat_batch_cycles",
     "batch_head_rows",
     "seq_len_groups",
+    "indexed_seq_len_groups",
+    "split_batch",
 ]
 
 
@@ -162,6 +181,10 @@ class AttentionBackend(ABC):
     def __init__(self, config: "SWATConfig | None" = None, plan_cache: "PlanCache | None" = None):
         self.config = config if config is not None else SWATConfig()
         self.plan_cache = plan_cache
+        # The backend's model registry: compiled whole-forward plans per spec
+        # and executors (plans + weights) per (spec, weight_seed).
+        self._model_plans: "dict[tuple, ModelPlan]" = {}
+        self._model_executors: "dict[tuple, ModelExecutor]" = {}
 
     @abstractmethod
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
@@ -172,6 +195,66 @@ class AttentionBackend(ABC):
         return self.execute_batch([request])
 
     # ------------------------------------------------------------------ #
+    # Whole-model registry (ForwardRequest support)
+    # ------------------------------------------------------------------ #
+
+    def model_plan(self, request: ForwardRequest) -> ModelPlan:
+        """The compiled :class:`~repro.model.plan.ModelPlan` of ``request``'s spec.
+
+        Memoised per spec; per-shape execution plans resolve through the
+        pool-shared :class:`~repro.serving.cache.PlanCache` when one is
+        attached, so repeated shapes — across layers *and* across models —
+        compile once pool-wide.
+        """
+        key = request.spec.fingerprint()
+        if key not in self._model_plans:
+            executor = self._model_executors.get((key, request.weight_seed))
+            if executor is not None:
+                self._model_plans[key] = executor.model_plan
+            else:
+                self._model_plans[key] = ModelPlanCompiler(
+                    base_config=self.config, plan_cache=self.plan_cache
+                ).compile(request.spec)
+        return self._model_plans[key]
+
+    def model_executor(self, request: ForwardRequest) -> ModelExecutor:
+        """The memoised executor serving ``request``'s ``(spec, weight_seed)``."""
+        key = (request.spec.fingerprint(), request.weight_seed)
+        if key not in self._model_executors:
+            self._model_executors[key] = ModelExecutor(
+                request.spec,
+                base_config=self.config,
+                plan_cache=self.plan_cache,
+                weight_seed=request.weight_seed,
+            )
+        return self._model_executors[key]
+
+    def _stacked_forward_outputs(
+        self,
+        forwards: "list[tuple[int, ForwardRequest]]",
+        outputs: "list[np.ndarray | None]",
+    ) -> None:
+        """Execute the functional forwards of a dispatch, scattering outputs.
+
+        Forwards group by ``(spec, weight_seed)`` — each group is one served
+        model — and every group runs as one stacked
+        :meth:`~repro.model.executor.ModelExecutor.forward_batch` pass, so
+        all ``B x H`` heads of each layer execute together.  The one
+        functional-forward path shared by every functional backend: outputs
+        stay bit-identical across them by construction.
+        """
+        groups: "OrderedDict[tuple, list[tuple[int, ForwardRequest]]]" = OrderedDict()
+        for index, request in forwards:
+            if request.is_functional:
+                key = (request.spec.fingerprint(), request.weight_seed)
+                groups.setdefault(key, []).append((index, request))
+        for members in groups.values():
+            executor = self.model_executor(members[0][1])
+            stacked = executor.forward_batch(np.stack([request.x for _, request in members]))
+            for (index, _), output in zip(members, stacked):
+                outputs[index] = output
+
+    # ------------------------------------------------------------------ #
     # Iteration-level protocol (continuous batching)
     # ------------------------------------------------------------------ #
 
@@ -180,22 +263,27 @@ class AttentionBackend(ABC):
 
         The continuous engine splits this into per-iteration slices; a
         request retires when its slices sum to this value.  The default is
-        ``num_heads * seq_len`` (one stream per head); backends that spread
-        heads across replicated pipelines override it to match their batch
-        timing model.
+        ``request.head_rows`` (one stream per head — for a forward, summed
+        over its layers); backends that spread heads across replicated
+        pipelines override it to match their batch timing model.
         """
-        return request.num_heads * request.seq_len
+        return request.head_rows
 
-    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
-        """Price one iteration advancing each ``(request, rows)`` slice.
+    def step(
+        self, slices: "list[tuple[AttentionRequest, int, int]]", primed: bool
+    ) -> StepCost:
+        """Price one iteration advancing each ``(request, rows_done, rows)`` slice.
 
-        Resident slices stream in parallel across the stacked batch axis
-        (the ``G`` axis of :class:`~repro.core.plan.PlanBatch`), so the
-        iteration is gated by its largest slice.  ``primed`` is ``True``
-        when the pipeline was busy in the immediately preceding iteration:
-        a primed pipeline pays no refill, which is how a batch's fill cost
-        is amortised across admissions instead of being re-charged per
-        dispatch.
+        ``rows_done`` is how far the request had streamed before this
+        iteration — whole-model forwards are priced positionally along their
+        model-wide row axis, so a slice knows which layers (and geometry
+        switches) it covers.  Resident slices stream in parallel across the
+        stacked batch axis (the ``G`` axis of
+        :class:`~repro.core.plan.PlanBatch`), so the iteration is gated by
+        its largest slice.  ``primed`` is ``True`` when the pipeline was busy
+        in the immediately preceding iteration: a primed pipeline pays no
+        refill, which is how a batch's fill cost is amortised across
+        admissions instead of being re-charged per dispatch.
         """
         raise NotImplementedError(
             f"backend {self.name!r} has no modelled per-iteration clock "
@@ -284,7 +372,10 @@ def swat_batch_cycles(pipeline: SWATPipelineModel, batch: "list[AttentionRequest
     :meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`:
     the fill is paid once per dispatch rather than once per request
     (``fill + (total_rows - 1) * II``), with each request's heads distributed
-    across the replicated pipelines.
+    across the replicated pipelines.  Attention requests only — whole-model
+    forwards price through their compiled
+    :class:`~repro.model.plan.ModelPlan`, whose per-layer pipelines may
+    differ from the batch's.
     """
     return pipeline.batch_attention_cycles(
         [(request.seq_len, request.num_heads) for request in batch]
@@ -292,12 +383,32 @@ def swat_batch_cycles(pipeline: SWATPipelineModel, batch: "list[AttentionRequest
 
 
 def batch_head_rows(batch: "list[AttentionRequest]") -> int:
-    """Accounted ``num_heads * seq_len`` units of a batch.
+    """Accounted head-row units of a batch (``num_heads * seq_len`` per
+    attention request, summed over layers for forwards).
 
     The backend-independent work measure: every backend's
     :class:`BackendResult` must report exactly this value for the same batch.
     """
-    return sum(request.num_heads * request.seq_len for request in batch)
+    return sum(request.head_rows for request in batch)
+
+
+def split_batch(
+    batch: "list[AttentionRequest]",
+) -> "tuple[list[tuple[int, AttentionRequest]], list[tuple[int, ForwardRequest]]]":
+    """Partition a dispatch into attention and whole-model forward items.
+
+    Returns ``(attentions, forwards)`` as ``(batch_index, request)`` pairs in
+    batch order — the two kinds price through different models, but the
+    result tuple must line up with the original batch.
+    """
+    attentions: "list[tuple[int, AttentionRequest]]" = []
+    forwards: "list[tuple[int, ForwardRequest]]" = []
+    for index, request in enumerate(batch):
+        if isinstance(request, ForwardRequest):
+            forwards.append((index, request))
+        else:
+            attentions.append((index, request))
+    return attentions, forwards
 
 
 def seq_len_groups(
@@ -310,8 +421,20 @@ def seq_len_groups(
     nearby sequence lengths — each exact shape shares one compiled plan and
     executes as one stacked :class:`~repro.core.plan.PlanBatch` pass.
     """
+    return indexed_seq_len_groups(enumerate(batch))
+
+
+def indexed_seq_len_groups(
+    pairs,
+) -> "OrderedDict[int, list[tuple[int, AttentionRequest]]]":
+    """:func:`seq_len_groups` over pre-indexed ``(batch_index, request)`` pairs.
+
+    The mixed-batch entry point: callers that have already split a dispatch
+    into kinds (:func:`split_batch`) group the attention subset while keeping
+    original batch indices for output scatter.
+    """
     groups: "OrderedDict[int, list[tuple[int, AttentionRequest]]]" = OrderedDict()
-    for index, request in enumerate(batch):
+    for index, request in pairs:
         groups.setdefault(request.seq_len, []).append((index, request))
     return groups
 
@@ -329,9 +452,30 @@ class _SWATBackendBase(AttentionBackend):
         self.simulator = SWATSimulator(self.config, plan_cache=self.plan_cache)
 
     def _batch_timing(self, batch: "list[AttentionRequest]") -> "tuple[int, float, float]":
-        cycles = swat_batch_cycles(self.simulator.pipeline, batch)
-        seconds = cycles * self.config.clock_period_s
-        energy = self.simulator.power_model.total_power_w * seconds
+        """Cycles/seconds/energy of a drained dispatch.
+
+        Attention requests stream back to back (one fill for the whole
+        dispatch); each whole-model forward prices off its compiled
+        :class:`~repro.model.plan.ModelPlan` — per-layer pipelines, fills at
+        geometry switches, per-layer power hooks.
+        """
+        attentions, forwards = split_batch(batch)
+        attention_cycles = (
+            swat_batch_cycles(
+                self.simulator.pipeline, [request for _, request in attentions]
+            )
+            if attentions
+            else 0
+        )
+        attention_seconds = attention_cycles * self.config.clock_period_s
+        energy = self.simulator.power_model.total_power_w * attention_seconds
+        cycles = attention_cycles
+        seconds = attention_seconds
+        for _, request in forwards:
+            plan = self.model_plan(request)
+            cycles += plan.total_cycles
+            seconds += plan.total_seconds
+            energy += plan.total_energy_joules
         return cycles, seconds, energy
 
     @staticmethod
@@ -342,13 +486,15 @@ class _SWATBackendBase(AttentionBackend):
 
     def _batch_traffic(self, batch: "list[AttentionRequest]") -> int:
         """Batch traffic: one plan resolution per distinct shape, not per request."""
+        attentions, forwards = split_batch(batch)
+        attention_requests = [request for _, request in attentions]
         return sum(
             self._plan_traffic(
                 self.simulator.resolve_plan(seq_len),
                 sum(request.num_heads for _, request in members),
             )
-            for seq_len, members in seq_len_groups(batch).items()
-        )
+            for seq_len, members in seq_len_groups(attention_requests).items()
+        ) + sum(self.model_plan(request).total_kv_bytes for _, request in forwards)
 
     # ------------------------------------------------------------------ #
     # Iteration-level pricing (continuous batching)
@@ -364,11 +510,16 @@ class _SWATBackendBase(AttentionBackend):
         ``ceil(num_heads / num_pipelines) * seq_len`` rows stream serially on
         the most-loaded replica, so a solo request's per-iteration cycles sum
         bit-exactly to its batch-of-one drain dispatch (fill paid once, heads
-        streamed back to back).
+        streamed back to back).  A whole-model forward streams that many rows
+        per layer (:attr:`~repro.model.plan.ModelPlan.total_rows`).
         """
+        if isinstance(request, ForwardRequest):
+            return self.model_plan(request).total_rows
         return ceil(request.num_heads / self.config.num_pipelines) * request.seq_len
 
-    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
+    def step(
+        self, slices: "list[tuple[AttentionRequest, int, int]]", primed: bool
+    ) -> StepCost:
         """One iteration on the SWAT pipeline: gated by the largest slice.
 
         Resident slices stream in parallel on the stacked batch axis; the
@@ -379,20 +530,33 @@ class _SWATBackendBase(AttentionBackend):
         primed one streams at ``rows * II``.  Summed over a busy period the
         fill is therefore charged once — the same total
         :meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`
-        charges for the period's gating rows as one drained batch.
+        charges for the period's gating rows as one drained batch.  Forward
+        slices are priced positionally along the model's row axis
+        (:meth:`~repro.model.plan.ModelPlan.span_cycles`): their layers' own
+        initiation intervals, with geometry-switch refills charged exactly
+        once wherever the iteration boundaries fall — a solo forward's
+        slices sum bit-exactly to its drained
+        :attr:`~repro.model.plan.ModelPlan.total_cycles`.
         """
         if not slices:
             raise ValueError("an iteration needs at least one resident slice")
+        pipeline = self.simulator.pipeline
+        cycles = 0
         gate_rows = 0
-        for request, rows in slices:
+        for request, rows_done, rows in slices:
             if rows <= 0:
                 raise ValueError(f"slice rows must be positive, got {rows}")
-            gate_rows = max(gate_rows, rows)
-        pipeline = self.simulator.pipeline
-        if primed:
-            cycles = gate_rows * pipeline.initiation_interval
-        else:
-            cycles = pipeline.cycles_for_rows(gate_rows)
+            if isinstance(request, ForwardRequest):
+                slice_cycles = self.model_plan(request).span_cycles(
+                    rows_done, rows_done + rows, primed
+                )
+            elif primed:
+                slice_cycles = rows * pipeline.initiation_interval
+            else:
+                slice_cycles = pipeline.cycles_for_rows(rows)
+            if slice_cycles > cycles:
+                cycles = slice_cycles
+                gate_rows = rows
         seconds = cycles * self.config.clock_period_s
         return StepCost(
             seconds=seconds,
@@ -423,10 +587,17 @@ class SimulatorBackend(_SWATBackendBase):
     def _outputs_and_traffic(
         self, batch: "list[AttentionRequest]"
     ) -> "tuple[tuple[np.ndarray | None, ...], int]":
-        """Stacked functional pass plus traffic, one plan resolution per group."""
+        """Stacked functional pass plus traffic, one plan resolution per group.
+
+        Whole-model forwards group by ``(spec, weight_seed)`` and execute as
+        one stacked :meth:`~repro.model.executor.ModelExecutor.forward_batch`
+        per group — all ``B x H`` heads of each layer in one pass over the
+        layer's shared plan.
+        """
         outputs: "list[np.ndarray | None]" = [None] * len(batch)
         bytes_moved = 0
-        for seq_len, members in seq_len_groups(batch).items():
+        attentions, forwards = split_batch(batch)
+        for seq_len, members in indexed_seq_len_groups(attentions).items():
             plan = self.simulator.resolve_plan(seq_len)
             bytes_moved += self._plan_traffic(
                 plan, sum(request.num_heads for _, request in members)
@@ -440,6 +611,9 @@ class SimulatorBackend(_SWATBackendBase):
             stacked = plan_batch.execute(scale=1.0 / np.sqrt(self.config.head_dim))
             for (index, _), output in zip(functional, plan_batch.split(stacked)):
                 outputs[index] = output
+        for _, request in forwards:
+            bytes_moved += self.model_plan(request).total_kv_bytes
+        self._stacked_forward_outputs(forwards, outputs)
         return tuple(outputs), bytes_moved
 
     def compute_outputs(self, batch: "list[AttentionRequest]") -> "tuple[np.ndarray | None, ...]":
@@ -522,7 +696,9 @@ class FusedSoftwareBackend(AttentionBackend):
         start = time.perf_counter()
         outputs: "list[np.ndarray | None]" = [None] * len(batch)
         scale = 1.0 / np.sqrt(self.config.head_dim)
-        for seq_len, members in seq_len_groups(batch).items():
+        attentions, forwards = split_batch(batch)
+        self._stacked_forward_outputs(forwards, outputs)
+        for seq_len, members in indexed_seq_len_groups(attentions).items():
             functional = [(index, request) for index, request in members if request.is_functional]
             if not functional:
                 continue
@@ -600,13 +776,17 @@ class _GPUBackendBase(AttentionBackend):
             self._step_reports[key] = self._runner_run_batch(seq_len, num_heads)
         return self._step_reports[key]
 
-    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
+    def step(
+        self, slices: "list[tuple[AttentionRequest, int, int]]", primed: bool
+    ) -> StepCost:
         """One iteration on the GPU clock: gated by the slowest slice.
 
         Each slice is priced at its request's per-row rate (the memoised
         full-shape :meth:`run_batch` report divided by its total rows, so a
         solo request's slices sum exactly to its one-shot report — launch
-        cost included, hence ``primed`` carries no extra fill here).  The
+        cost included, hence ``primed`` carries no extra fill here).  A
+        whole-model forward's report batches its ``L x H`` per-layer
+        instances into one kernel stream at the model's seq_len.  The
         iteration lasts as long as the slowest slice; energy tracks the work
         of every slice.
         """
@@ -616,10 +796,12 @@ class _GPUBackendBase(AttentionBackend):
         gate_seconds = 0.0
         gate_rows = 0
         energy = 0.0
-        for request, rows in slices:
+        for request, _rows_done, rows in slices:
             if rows <= 0:
                 raise ValueError(f"slice rows must be positive, got {rows}")
-            report = self._shape_report(request.seq_len, request.num_heads)
+            report = self._shape_report(
+                request.seq_len, request.head_rows // request.seq_len
+            )
             total_rows = self.request_rows(request)
             slice_seconds = report.seconds * rows / total_rows
             if slice_seconds > gate_seconds:
@@ -634,7 +816,10 @@ class _GPUBackendBase(AttentionBackend):
         seconds = 0.0
         energy = 0.0
         for seq_len, members in seq_len_groups(batch).items():
-            items = sum(request.num_heads for _, request in members)
+            # B x H instances per attention request, L x H per whole-model
+            # forward — all layers of a forward fold into the shape's one
+            # batched kernel stream.
+            items = sum(request.head_rows // seq_len for _, request in members)
             report = self._runner_run_batch(seq_len, items)
             seconds += report.seconds
             energy += report.energy_joules
@@ -715,7 +900,24 @@ class DenseFPGABackend(AttentionBackend):
         self.power_model = PowerModel(self.config)
         self._step_cycles: "dict[tuple[int, int], int]" = {}
 
-    def step(self, slices: "list[tuple[AttentionRequest, int]]", primed: bool) -> StepCost:
+    def _request_cycles(self, request: AttentionRequest) -> int:
+        """Memoised dense-baseline cycles of one request.
+
+        A whole-model forward runs one dense attention per layer (the
+        baseline ignores schedule geometry — it attends everything), so its
+        cycles are ``num_layers`` times the per-layer report.
+        """
+        key = (request.seq_len, request.num_heads)
+        if key not in self._step_cycles:
+            self._step_cycles[key] = self.baseline.run(
+                request.seq_len, num_heads=request.num_heads
+            ).cycles
+        layers = request.num_layers if isinstance(request, ForwardRequest) else 1
+        return layers * self._step_cycles[key]
+
+    def step(
+        self, slices: "list[tuple[AttentionRequest, int, int]]", primed: bool
+    ) -> StepCost:
         """One iteration on the dense baseline: per-row rate off its report.
 
         Dense attention has no streaming fill to amortise, so ``primed`` is
@@ -727,16 +929,13 @@ class DenseFPGABackend(AttentionBackend):
             raise ValueError("an iteration needs at least one resident slice")
         gate_seconds = 0.0
         gate_rows = 0
-        for request, rows in slices:
+        for request, _rows_done, rows in slices:
             if rows <= 0:
                 raise ValueError(f"slice rows must be positive, got {rows}")
-            key = (request.seq_len, request.num_heads)
-            if key not in self._step_cycles:
-                self._step_cycles[key] = self.baseline.run(
-                    request.seq_len, num_heads=request.num_heads
-                ).cycles
             total_rows = self.request_rows(request)
-            slice_seconds = self._step_cycles[key] * self.config.clock_period_s * rows / total_rows
+            slice_seconds = (
+                self._request_cycles(request) * self.config.clock_period_s * rows / total_rows
+            )
             if slice_seconds > gate_seconds:
                 gate_seconds = slice_seconds
                 gate_rows = rows
@@ -748,16 +947,10 @@ class DenseFPGABackend(AttentionBackend):
         )
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
-        cycles = 0
         # The baseline report is deterministic per shape: price each distinct
-        # (seq_len, num_heads) once and weight by its request count.
-        reports: "dict[tuple[int, int], int]" = {}
-        for request in batch:
-            key = (request.seq_len, request.num_heads)
-            if key not in reports:
-                report = self.baseline.run(request.seq_len, num_heads=request.num_heads)
-                reports[key] = report.cycles
-            cycles += reports[key]
+        # (seq_len, num_heads) once and weight by its request (and, for
+        # forwards, layer) count.
+        cycles = sum(self._request_cycles(request) for request in batch)
         seconds = cycles * self.config.clock_period_s
         return BackendResult(
             outputs=(None,) * len(batch),

@@ -3,9 +3,13 @@
 Requests are grouped by *batch key*: the config fingerprint (two requests can
 share an accelerator dispatch only if they target the same synthesised design)
 plus a sequence-length bucket (power-of-two rounding, so a 900-token and a
-1000-token request share the 1024 bucket).  A batch is released as soon as it
-reaches ``max_batch_size``; stragglers are released by ``flush()`` when the
-queue drains — the simulation-time analogue of a batching timeout.
+1000-token request share the 1024 bucket).  Whole-model
+:class:`~repro.serving.request.ForwardRequest`\\ s group by their spec
+fingerprint instead — same-model forwards stack into one per-layer tensor
+program, and never share a dispatch with single-attention requests.  A batch
+is released as soon as it reaches ``max_batch_size``; stragglers are released
+by ``flush()`` when the queue drains — the simulation-time analogue of a
+batching timeout.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from itertools import count
 
 from repro.core.config import SWATConfig
 from repro.serving.cache import config_fingerprint
-from repro.serving.request import AttentionRequest
+from repro.serving.request import AttentionRequest, ForwardRequest
 
 __all__ = ["seq_len_bucket", "Batch", "DynamicBatcher"]
 
@@ -41,8 +45,8 @@ class Batch:
 
     @property
     def total_rows(self) -> int:
-        """Query rows across the batch (the device-time driver)."""
-        return sum(request.seq_len * request.num_heads for request in self.requests)
+        """Head-row work units across the batch (the device-time driver)."""
+        return sum(request.head_rows for request in self.requests)
 
 
 class DynamicBatcher:
@@ -58,7 +62,13 @@ class DynamicBatcher:
         self._batch_ids = count()
 
     def batch_key(self, request: AttentionRequest) -> "tuple[object, ...]":
-        """Grouping key: (config fingerprint, seq-len bucket)."""
+        """Grouping key: (config fingerprint, seq-len bucket).
+
+        Whole-model forwards key on their spec fingerprint instead of a
+        seq-len bucket: only same-model forwards stack into one dispatch.
+        """
+        if isinstance(request, ForwardRequest):
+            return (self._fingerprint, "forward", request.spec.fingerprint())
         return (self._fingerprint, seq_len_bucket(request.seq_len))
 
     @property

@@ -70,6 +70,7 @@ __all__ = [
     "InFlightRequest",
     "IterationRecord",
     "ContinuousBatcher",
+    "QUEUE_POLICIES",
     "serve_continuous",
     "poisson_arrivals",
     "bursty_arrivals",
@@ -80,6 +81,9 @@ __all__ = [
 
 #: Admission policies the iteration-level loop understands.
 ADMISSION_MODES = ("continuous", "drain")
+
+#: Queue-ordering policies deciding which arrived request a free slot admits.
+QUEUE_POLICIES = ("fcfs", "sjf")
 
 #: Default rows a resident request advances per iteration.
 DEFAULT_ITERATION_ROWS = 128
@@ -176,18 +180,35 @@ class ContinuousBatcher:
     ``admission="drain"`` a shard admits only when its running batch is
     empty (the static-batching policy the scenario runner compares against);
     membership is then fixed until every member retires.
+
+    ``policy`` decides which *arrived* waiting request a free slot takes:
+    ``"fcfs"`` admits in arrival order, ``"sjf"`` (shortest-job-first) the
+    arrived request with the fewest backend row-work units — ties broken by
+    ``(arrival_time, request_id)``, so the schedule stays deterministic and
+    degenerates to FCFS on uniform-length traffic.  Under bursty mixed-length
+    load SJF stops a long request from parking ahead of a queue of short
+    ones, cutting p95 latency (the seeded A/B test in the suite).
     """
 
-    def __init__(self, max_batch_size: int, num_shards: int = 1, admission: str = "continuous"):
+    def __init__(
+        self,
+        max_batch_size: int,
+        num_shards: int = 1,
+        admission: str = "continuous",
+        policy: str = "fcfs",
+    ):
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         if admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be one of {ADMISSION_MODES}, got {admission!r}")
+        if policy not in QUEUE_POLICIES:
+            raise ValueError(f"policy must be one of {QUEUE_POLICIES}, got {policy!r}")
         self.max_batch_size = max_batch_size
         self.num_shards = num_shards
         self.admission = admission
+        self.policy = policy
         self._waiting: "deque[AttentionRequest]" = deque()
         self.running: "list[list[InFlightRequest]]" = [[] for _ in range(num_shards)]
         self._admission_ids = 0
@@ -226,18 +247,43 @@ class ContinuousBatcher:
             return 0
         return self.max_batch_size - resident
 
+    def _pop_next(self, now: float, rows_of) -> "AttentionRequest | None":
+        """Remove and return the next admissible waiting request, if any.
+
+        The queue is kept in ``(arrival_time, request_id)`` order, so the
+        arrived candidates are its leading run.  FCFS takes the front; SJF
+        scans that run for the smallest ``(rows_of, arrival_time, id)``.
+        """
+        if not self._waiting or self._waiting[0].arrival_time > now:
+            return None
+        if self.policy == "fcfs":
+            return self._waiting.popleft()
+        best_index = 0
+        best_key = None
+        for index, request in enumerate(self._waiting):
+            if request.arrival_time > now:
+                break
+            key = (rows_of(request), request.arrival_time, request.request_id)
+            if best_key is None or key < best_key:
+                best_index, best_key = index, key
+        request = self._waiting[best_index]
+        del self._waiting[best_index]
+        return request
+
     def admit(self, shard: int, now: float, rows_of) -> "list[InFlightRequest]":
-        """Admit arrived waiting requests into ``shard``'s free slots (FCFS).
+        """Admit arrived waiting requests into ``shard``'s free slots.
 
         ``rows_of`` maps a request to its total row-work on the serving
-        backend.  Returns the newly admitted in-flight records; occupancy
-        never exceeds ``max_batch_size``.
+        backend (also the SJF job-size key).  Returns the newly admitted
+        in-flight records; occupancy never exceeds ``max_batch_size``.
         """
         admitted: "list[InFlightRequest]" = []
         slots = self.free_slots(shard)
-        while slots > 0 and self._waiting and self._waiting[0].arrival_time <= now:
+        while slots > 0:
+            request = self._pop_next(now, rows_of)
+            if request is None:
+                break
             slots -= 1
-            request = self._waiting.popleft()
             inflight = InFlightRequest(
                 request=request,
                 shard=shard,
@@ -278,6 +324,7 @@ def serve_continuous(
     max_batch_size: int = 8,
     iteration_rows: int = DEFAULT_ITERATION_ROWS,
     admission: str = "continuous",
+    policy: str = "fcfs",
     plan_cache: "PlanCache | None" = None,
     backends: "list | None" = None,
 ) -> ServingResult:
@@ -288,11 +335,16 @@ def serve_continuous(
     iteration admits arrived requests under the ``admission`` policy, prices
     one :meth:`~repro.serving.backends.AttentionBackend.step`, advances every
     resident's slice and retires finished requests — whose functional outputs
-    are computed right there through the backend's stacked pass.
+    are computed right there through the backend's stacked pass.  Whole-model
+    :class:`~repro.serving.request.ForwardRequest`\\ s ride the same clock:
+    their slices advance along the compiled model's row axis (layer-iteration
+    granularity), priced positionally by the backend's ``step``.
 
     ``admission="drain"`` runs the same clock with static batching (a shard
     refills only once empty); it exists so the scenario comparison isolates
-    the scheduling policy from the device model.  ``backends`` reuses one
+    the scheduling policy from the device model.  ``policy`` orders the
+    waiting queue (``"fcfs"`` or ``"sjf"``, see
+    :class:`ContinuousBatcher`).  ``backends`` reuses one
     already-constructed backend instance per shard (they should share
     ``plan_cache`` for the cache counters to mean anything); by default one
     is created per shard.
@@ -319,7 +371,9 @@ def serve_continuous(
         ]
     rows_of = shards[0].request_rows
 
-    batcher = ContinuousBatcher(max_batch_size, num_shards=num_shards, admission=admission)
+    batcher = ContinuousBatcher(
+        max_batch_size, num_shards=num_shards, admission=admission, policy=policy
+    )
     batcher.submit(list(requests))
     clocks = [ServingClock() for _ in range(num_shards)]
     primed = [False] * num_shards
@@ -341,7 +395,8 @@ def serve_continuous(
             continue
         slices = batcher.slices(shard, iteration_rows)
         cost = shards[shard].step(
-            [(inflight.request, rows) for inflight, rows in slices], primed[shard]
+            [(inflight.request, inflight.rows_done, rows) for inflight, rows in slices],
+            primed[shard],
         )
         start = clock.now
         clock.advance(cost.seconds)
@@ -405,6 +460,7 @@ def serve_continuous(
         cache_misses=cache_after["misses"] - cache_before["misses"],
         total_head_rows=batch_head_rows(list(requests)),
         mode=admission,
+        policy=policy,
         num_iterations=len(records),
         mean_occupancy=mean(record.occupancy for record in records) if records else 0.0,
         queue_p50_seconds=percentile(queue_waits, 50.0),
@@ -505,6 +561,7 @@ def swat_request_rate(
     num_shards: int = 1,
     max_batch_size: int = 8,
     num_heads: int = 1,
+    num_layers: int = 1,
 ) -> float:
     """Requests/sec a fully occupied continuous pool can stream (SWAT clock).
 
@@ -512,16 +569,22 @@ def swat_request_rate(
     parallel, one gating row per initiation interval, so the pool streams
     ``num_shards * max_batch_size / (II * clock_period)`` rows per second;
     dividing by the mean rows per request of the traffic mix (each request
-    carrying ``num_heads`` heads, spread across the replicated pipelines
-    exactly as the backend's ``request_rows``) gives the saturation request
-    rate — multiply by a load factor > 1 for an overloaded trace.
+    carrying ``num_heads`` heads per layer over ``num_layers`` layers, heads
+    spread across the replicated pipelines exactly as the backend's
+    ``request_rows``) gives the saturation request rate — multiply by a load
+    factor > 1 for an overloaded trace.  ``num_layers > 1`` sizes the rate
+    for whole-model forward traffic.
     """
     if not seq_lens:
         raise ValueError("seq_lens must be non-empty")
     if num_heads <= 0:
         raise ValueError(f"num_heads must be positive, got {num_heads}")
+    if num_layers <= 0:
+        raise ValueError(f"num_layers must be positive, got {num_layers}")
     pipeline = SWATPipelineModel(config)
-    mean_rows = mean(ceil(num_heads / config.num_pipelines) * seq_len for seq_len in seq_lens)
+    mean_rows = mean(
+        num_layers * ceil(num_heads / config.num_pipelines) * seq_len for seq_len in seq_lens
+    )
     rows_per_second = (
         num_shards * max_batch_size / (pipeline.initiation_interval * config.clock_period_s)
     )
@@ -557,6 +620,7 @@ def compare_modes(
     num_shards: int = 1,
     max_batch_size: int = 8,
     iteration_rows: int = DEFAULT_ITERATION_ROWS,
+    policy: str = "fcfs",
 ) -> ScenarioComparison:
     """Run one arrival trace under both admission policies, same clock.
 
@@ -576,6 +640,7 @@ def compare_modes(
             max_batch_size=max_batch_size,
             iteration_rows=iteration_rows,
             admission=admission,
+            policy=policy,
             plan_cache=PlanCache(),
         )
     return ScenarioComparison(continuous=results["continuous"], drain=results["drain"])

@@ -13,13 +13,24 @@ both requests/sec and the backend-independent head-rows/sec:
 ``--mode continuous`` switches to the iteration-level scheduler of
 :mod:`repro.serving.continuous`: requests arrive over a seeded Poisson trace
 at ``--load`` times the pool's saturation rate, are admitted mid-flight as
-slots free, and the table gains occupancy plus simulated queue/latency
-percentiles.  ``--compare`` then runs the same trace under drain admission on
-the same simulated clock and prints the continuous-over-drain speedup:
+slots free (``--policy sjf`` admits shortest-job-first), and the table gains
+occupancy plus simulated queue/latency percentiles.  ``--compare`` then runs
+the same trace under drain admission on the same simulated clock and prints
+the continuous-over-drain speedup:
 
 .. code-block:: console
 
     $ repro-serve --mode continuous --backend analytical --requests 64 --compare
+
+``--model`` serves whole-model forward passes instead of single attentions:
+each request carries a :class:`~repro.model.spec.ModelSpec` of
+``--model-layers`` encoder layers, compiled once per spec into a
+:class:`~repro.model.plan.ModelPlan` (layers share one schedule per distinct
+shape) and priced/executed end to end:
+
+.. code-block:: console
+
+    $ repro-serve --model --model-layers 8 --backend simulator --requests 16
 """
 
 from __future__ import annotations
@@ -27,17 +38,19 @@ from __future__ import annotations
 import argparse
 
 from repro.core.config import SWATConfig
+from repro.model.spec import ModelSpec
 from repro.serving.backends import REGISTRY, available_backends
 from repro.serving.cache import PlanCache
 from repro.serving.continuous import (
     DEFAULT_ITERATION_ROWS,
+    QUEUE_POLICIES,
     compare_modes,
     poisson_arrivals,
     serve_continuous,
     swat_request_rate,
 )
 from repro.serving.engine import ServingEngine, ServingResult
-from repro.serving.request import make_requests
+from repro.serving.request import make_forward_request, make_requests
 
 __all__ = ["build_parser", "main"]
 
@@ -82,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="data seed (default: 0)")
     parser.add_argument(
+        "--model",
+        action="store_true",
+        help="serve whole-model forward passes (one ModelSpec per request) "
+        "instead of single attentions",
+    )
+    parser.add_argument(
+        "--model-layers",
+        type=int,
+        default=4,
+        help="encoder layers per served model in --model mode (default: 4)",
+    )
+    parser.add_argument(
+        "--model-heads",
+        type=int,
+        default=2,
+        help="attention heads per layer in --model mode (default: 2)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="fcfs",
+        choices=QUEUE_POLICIES,
+        help="continuous mode: admission queue ordering (default: fcfs)",
+    )
+    parser.add_argument(
         "--load",
         type=float,
         default=3.0,
@@ -102,6 +139,42 @@ def build_parser() -> argparse.ArgumentParser:
         "continuous mode: also run drain admission on the same clock",
     )
     return parser
+
+
+def _request_seq_lens(args) -> "list[int]":
+    return [args.seq_lens[index % len(args.seq_lens)] for index in range(args.requests)]
+
+
+def _build_requests(args, config: SWATConfig, functional: bool, arrival_times=None):
+    """The demo's request mix: attentions, or whole-model forwards (--model)."""
+    seq_lens = _request_seq_lens(args)
+    if not args.model:
+        return make_requests(
+            seq_lens,
+            config.head_dim,
+            seed=args.seed,
+            functional=functional,
+            arrival_times=arrival_times,
+        )
+    specs = {
+        seq_len: ModelSpec.uniform(
+            args.model_layers,
+            seq_len,
+            window_tokens=args.window_tokens,
+            num_heads=args.model_heads,
+            head_dim=config.head_dim,
+        )
+        for seq_len in set(seq_lens)
+    }
+    return [
+        make_forward_request(
+            specs[seq_len],
+            seed=args.seed + index,
+            functional=functional,
+            arrival_time=arrival_times[index] if arrival_times is not None else 0.0,
+        )
+        for index, seq_len in enumerate(seq_lens)
+    ]
 
 
 def _serve(
@@ -139,11 +212,11 @@ def _speedup_lines(label: str, fast: ServingResult, slow: ServingResult) -> "lis
 
 
 def _run_drain(args, config: SWATConfig) -> int:
-    seq_lens = [args.seq_lens[index % len(args.seq_lens)] for index in range(args.requests)]
     functional = REGISTRY.backend_class(args.backend).functional
-    requests = make_requests(seq_lens, config.head_dim, seed=args.seed, functional=functional)
+    requests = _build_requests(args, config, functional)
 
-    print(f"serving {len(requests)} requests on {args.shards} shard(s), "
+    kind = "whole-model forward" if args.model else "attention"
+    print(f"serving {len(requests)} {kind} requests on {args.shards} shard(s), "
           f"batch size {args.batch_size}, backend {args.backend!r}\n")
     result = _serve(config, requests, args.backend, args.shards, args.batch_size)
     print(result.stats.render())
@@ -159,26 +232,26 @@ def _run_drain(args, config: SWATConfig) -> int:
 
 
 def _run_continuous(args, config: SWATConfig) -> int:
-    seq_lens = [args.seq_lens[index % len(args.seq_lens)] for index in range(args.requests)]
+    seq_lens = _request_seq_lens(args)
     if seq_lens:
         rate = args.load * swat_request_rate(
-            config, seq_lens, num_shards=args.shards, max_batch_size=args.batch_size
+            config,
+            seq_lens,
+            num_shards=args.shards,
+            max_batch_size=args.batch_size,
+            num_heads=args.model_heads if args.model else 1,
+            num_layers=args.model_layers if args.model else 1,
         )
         arrival_times = poisson_arrivals(len(seq_lens), rate, seed=args.seed)
     else:
         arrival_times = []
     functional = REGISTRY.backend_class(args.backend).functional
-    requests = make_requests(
-        seq_lens,
-        config.head_dim,
-        seed=args.seed,
-        functional=functional,
-        arrival_times=arrival_times,
-    )
+    requests = _build_requests(args, config, functional, arrival_times=arrival_times)
 
-    print(f"serving {len(requests)} requests on {args.shards} shard(s), "
+    kind = "whole-model forward" if args.model else "attention"
+    print(f"serving {len(requests)} {kind} requests on {args.shards} shard(s), "
           f"{args.batch_size} slots, backend {args.backend!r}, "
-          f"continuous admission (Poisson load x{args.load:g})\n")
+          f"continuous admission ({args.policy}, Poisson load x{args.load:g})\n")
     if args.compare:
         comparison = compare_modes(
             requests,
@@ -187,6 +260,7 @@ def _run_continuous(args, config: SWATConfig) -> int:
             num_shards=args.shards,
             max_batch_size=args.batch_size,
             iteration_rows=args.iteration_rows,
+            policy=args.policy,
         )
         print(comparison.continuous.stats.to_table("Continuous admission").render())
         print()
@@ -204,6 +278,7 @@ def _run_continuous(args, config: SWATConfig) -> int:
         num_shards=args.shards,
         max_batch_size=args.batch_size,
         iteration_rows=args.iteration_rows,
+        policy=args.policy,
         plan_cache=PlanCache(),
     )
     print(result.stats.to_table("Continuous admission").render())
@@ -223,6 +298,10 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(f"--load must be positive, got {args.load}")
     if args.iteration_rows <= 0:
         parser.error(f"--iteration-rows must be positive, got {args.iteration_rows}")
+    if args.model_layers <= 0:
+        parser.error(f"--model-layers must be positive, got {args.model_layers}")
+    if args.model_heads <= 0:
+        parser.error(f"--model-heads must be positive, got {args.model_heads}")
     if args.mode == "continuous" and not REGISTRY.backend_class(args.backend).supports_continuous:
         parser.error(
             f"--backend {args.backend} has no modelled per-iteration clock "
@@ -230,6 +309,11 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     config = SWATConfig.longformer(window_tokens=args.window_tokens)
     print(f"config: {config.describe()}")
+    if args.model:
+        print(
+            f"model: {args.model_layers} layers x {args.model_heads} heads per forward "
+            f"(one ModelPlan per distinct seq_len)"
+        )
     if args.mode == "continuous":
         return _run_continuous(args, config)
     return _run_drain(args, config)

@@ -82,6 +82,7 @@ class ServingEngine:
         plan_cache: "PlanCache | None" = None,
         mode: str = "drain",
         iteration_rows: "int | None" = None,
+        policy: str = "fcfs",
     ):
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -94,6 +95,7 @@ class ServingEngine:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.mode = mode
         self.iteration_rows = iteration_rows
+        self.policy = policy
         self.shards: "list[AttentionBackend]" = [
             create_backend(backend, config=self.config, plan_cache=self.plan_cache)
             for _ in range(num_shards)
@@ -129,6 +131,7 @@ class ServingEngine:
                     else DEFAULT_ITERATION_ROWS
                 ),
                 admission="continuous",
+                policy=self.policy,
                 plan_cache=self.plan_cache,
                 backends=self.shards,
             )

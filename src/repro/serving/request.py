@@ -12,6 +12,15 @@ way the batched execution path stacks all heads of a dispatch into one
 ``(G, seq_len, head_dim)`` tensor program per ``(config, seq_len)`` group
 (:class:`repro.core.plan.PlanBatch`), so requests are units of accounting,
 not units of execution.
+
+A :class:`ForwardRequest` is the whole-model counterpart: instead of one
+attention's Q/K/V it carries a :class:`~repro.model.spec.ModelSpec` (plus
+optional input embeddings), and one serve call prices and executes the
+entire ``L``-layer forward pass through the backend's memoised
+:class:`~repro.model.executor.ModelExecutor`.  Both request kinds share the
+scheduling protocol the batcher, engine and continuous clock rely on:
+``seq_len``, ``arrival_time``, ``request_id``, ``is_functional`` and the
+backend-independent work measure ``head_rows``.
 """
 
 from __future__ import annotations
@@ -21,9 +30,17 @@ from itertools import count
 
 import numpy as np
 
+from repro.model.spec import ModelSpec
 from repro.workload.generator import attention_inputs
 
-__all__ = ["AttentionRequest", "CompletedRequest", "make_request", "make_requests"]
+__all__ = [
+    "AttentionRequest",
+    "ForwardRequest",
+    "CompletedRequest",
+    "make_request",
+    "make_requests",
+    "make_forward_request",
+]
 
 _REQUEST_IDS = count()
 
@@ -104,6 +121,82 @@ class AttentionRequest:
         if not self.is_functional:
             return 0
         return self.q.shape[0] if self.q.ndim == 3 else 1
+
+    @property
+    def head_rows(self) -> int:
+        """Accounted ``num_heads * seq_len`` work units of this request.
+
+        The backend-independent work measure shared with
+        :class:`ForwardRequest` (which sums it over its layers).
+        """
+        return self.num_heads * self.seq_len
+
+
+@dataclass
+class ForwardRequest:
+    """One whole-model forward pass submitted to the serving engine.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.model.spec.ModelSpec` fixing the forward's
+        execution shape (per-layer attention geometry, heads, dims).
+    x:
+        Optional input embeddings ``(seq_len, hidden_dim)``.  When ``None``
+        the request is analytical: the backend prices the forward off its
+        compiled :class:`~repro.model.plan.ModelPlan` but computes nothing.
+    weight_seed:
+        Seed of the served model's deterministic weights; backends memoise
+        one :class:`~repro.model.executor.ModelExecutor` per
+        ``(spec, weight_seed)`` — the serving layer's model registry.
+    arrival_time:
+        Simulated-clock visibility instant (see
+        :attr:`AttentionRequest.arrival_time`).
+    request_id:
+        Monotonically increasing identifier shared with attention requests.
+    """
+
+    spec: ModelSpec
+    x: "np.ndarray | None" = None
+    weight_seed: int = 0
+    arrival_time: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, ModelSpec):
+            raise TypeError(f"spec must be a ModelSpec, got {type(self.spec).__name__}")
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be non-negative, got {self.arrival_time}")
+        if self.x is not None:
+            self.x = np.asarray(self.x, dtype=np.float64)
+            expected = (self.spec.seq_len, self.spec.hidden_dim)
+            if self.x.shape != expected:
+                raise ValueError(f"x shaped {self.x.shape} does not match spec {expected}")
+
+    @property
+    def seq_len(self) -> int:
+        """Tokens per layer (every layer attends the same rows)."""
+        return self.spec.seq_len
+
+    @property
+    def num_heads(self) -> int:
+        """Attention heads per layer."""
+        return self.spec.num_heads
+
+    @property
+    def num_layers(self) -> int:
+        """Model depth."""
+        return self.spec.num_layers
+
+    @property
+    def is_functional(self) -> bool:
+        """True when the request carries input embeddings."""
+        return self.x is not None
+
+    @property
+    def head_rows(self) -> int:
+        """Accounted ``num_layers * num_heads * seq_len`` units of the forward."""
+        return self.spec.head_rows
 
 
 @dataclass(frozen=True)
@@ -214,3 +307,28 @@ def make_requests(
         )
         for index, seq_len in enumerate(seq_lens)
     ]
+
+
+def make_forward_request(
+    spec: ModelSpec,
+    seed: int = 0,
+    functional: bool = True,
+    arrival_time: float = 0.0,
+    weight_seed: int = 0,
+) -> ForwardRequest:
+    """Build one whole-model forward request, with seeded embeddings when functional.
+
+    Embeddings come from :func:`repro.model.executor.forward_inputs`, so the
+    same ``(spec, seed)`` means the same data here, in the benchmarks and at
+    a solo :class:`~repro.model.executor.ModelExecutor` call.
+    """
+    if not functional:
+        return ForwardRequest(spec=spec, weight_seed=weight_seed, arrival_time=arrival_time)
+    from repro.model.executor import forward_inputs
+
+    return ForwardRequest(
+        spec=spec,
+        x=forward_inputs(spec, seed=seed),
+        weight_seed=weight_seed,
+        arrival_time=arrival_time,
+    )

@@ -78,6 +78,9 @@ class ServingStats:
     mode:
         Admission policy of the run: ``"drain"`` (the default batch-drain
         engine) or ``"continuous"`` (iteration-level admission/retirement).
+    policy:
+        Queue-ordering policy of a continuous-clock run (``"fcfs"`` or
+        ``"sjf"``); drain-engine runs keep the default.
     num_iterations:
         Priced iterations of a continuous-clock run (0 on the drain path,
         whose dispatches are whole batches; ``num_batches`` then counts
@@ -107,6 +110,7 @@ class ServingStats:
     cache_misses: int
     total_head_rows: int = 0
     mode: str = "drain"
+    policy: str = "fcfs"
     num_iterations: int = 0
     mean_occupancy: float = 0.0
     queue_p50_seconds: float = 0.0
@@ -170,6 +174,7 @@ class ServingStats:
             rows.update(
                 {
                     "mode": self.mode,
+                    "admission policy": self.policy,
                     "iterations": self.num_iterations,
                     "shards": self.num_shards,
                     "mean occupancy (slots)": self.mean_occupancy,

@@ -41,6 +41,32 @@ class TestContinuousCli:
         assert "head-rows/sec:" in out
 
 
+class TestModelCli:
+    def test_model_drain_serves_forwards(self, capsys):
+        argv = ["--model", "--model-layers", "3", "--backend", "analytical"]
+        argv += ["--requests", "6", "--seq-lens", "64", "128", "--window-tokens", "32"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "whole-model forward requests" in out
+        assert "3 layers x 2 heads per forward" in out
+        assert "head-rows/sec (device)" in out
+
+    def test_model_continuous_with_policy(self, capsys):
+        argv = ["--model", "--mode", "continuous", "--policy", "sjf"]
+        argv += ["--backend", "analytical", "--requests", "8"]
+        argv += ["--seq-lens", "64", "--window-tokens", "32"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "admission policy" in out
+        assert "sjf" in out
+
+    def test_model_functional_backend(self, capsys):
+        argv = ["--model", "--backend", "simulator", "--requests", "4"]
+        argv += ["--seq-lens", "32", "--window-tokens", "16", "--model-layers", "2"]
+        assert main(argv) == 0
+        assert "whole-model forward" in capsys.readouterr().out
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "argv",
@@ -51,6 +77,9 @@ class TestValidation:
             ["--load", "0"],
             ["--iteration-rows", "0"],
             ["--mode", "streaming"],
+            ["--model", "--model-layers", "0"],
+            ["--model", "--model-heads", "-1"],
+            ["--policy", "random"],
         ],
     )
     def test_bad_arguments_exit(self, argv):
