@@ -12,6 +12,10 @@ The acceptance numbers of the ``repro.model`` subsystem:
 
 ``MODEL_PLAN_LAYERS`` caps the model depth so CI runs a smoke-sized model
 while keeping both floors gating every PR.
+
+The headline numbers land in ``BENCH_model.json``
+(:func:`repro.telemetry.artifacts.record_bench`), which CI uploads as a
+per-run perf artifact.
 """
 
 import os
@@ -25,6 +29,7 @@ from repro.model import ModelExecutor, ModelPlanCompiler, ModelSpec, forward_inp
 from repro.serving.cache import PlanCache
 from repro.serving.engine import ServingEngine
 from repro.serving.request import make_forward_request, make_request
+from repro.telemetry.artifacts import record_bench
 
 #: Wall-time floor for whole-model plan compilation over L independent
 #: per-layer builds when all layers share one shape (acceptance criterion;
@@ -83,6 +88,16 @@ def test_plan_compile_amortisation_on_shared_shapes(benchmark):
         f"{whole_seconds * 1e3:.1f} ms ({amortisation:.1f}x); "
         f"{plan.num_shapes} compiled plan(s)"
     )
+    record_bench(
+        "BENCH_model.json",
+        "plan_compile_amortisation",
+        {
+            "layers": spec.num_layers,
+            "layerwise_ms": round(layerwise_seconds * 1e3, 3),
+            "whole_model_ms": round(whole_seconds * 1e3, 3),
+            "amortisation": round(amortisation, 3),
+        },
+    )
     assert plan.num_shapes == 1
     # Acceptance property: >= 5x plan-compile amortisation when layers share
     # shapes.
@@ -124,6 +139,16 @@ def test_whole_model_serve_beats_layerwise_attention_serves(benchmark):
         f"head-rows/s vs {layerwise_stats.head_rows_per_second:.3g} for "
         f"{spec.num_layers} independent attention serves ({ratio:.3f}x, "
         f"fill paid once vs {spec.num_layers} times)"
+    )
+    record_bench(
+        "BENCH_model.json",
+        "whole_model_over_layerwise",
+        {
+            "layers": spec.num_layers,
+            "forward_head_rows_per_s": round(forward_stats.head_rows_per_second, 1),
+            "layerwise_head_rows_per_s": round(layerwise_stats.head_rows_per_second, 1),
+            "ratio": round(ratio, 4),
+        },
     )
     # Acceptance property: whole-model serving is never slower than the
     # L-independent-serves baseline, and strictly faster for L > 1.

@@ -12,6 +12,10 @@ batched-vs-looped comparison, ``SERVING_CONTINUOUS_REQUESTS`` that of the
 continuous-vs-drain scenario and ``SERVING_QUANTUM_SWEEP`` that of the
 iteration-quantum sweep; CI sets smaller counts so the speedup floors still
 gate every PR without paying the full measurement (smoke mode).
+
+The headline numbers land in ``BENCH_serving.json``
+(:func:`repro.telemetry.artifacts.record_bench`), which CI uploads as a
+per-run perf artifact.
 """
 
 import os
@@ -32,6 +36,7 @@ from repro.serving.continuous import (
 )
 from repro.serving.engine import ServingEngine
 from repro.serving.request import AttentionRequest, make_requests
+from repro.telemetry.artifacts import record_bench
 from repro.workload.generator import attention_inputs
 
 #: Wall requests/sec floor for batch-16 stacked dispatch over the looped
@@ -112,6 +117,11 @@ def test_batched_dispatch_beats_looped_baseline_at_batch_16(benchmark):
             f"vs looped {looped.stats.wall_requests_per_second:.0f} req/s "
             f"({speedups[backend]:.2f}x)"
         )
+    record_bench(
+        "BENCH_serving.json",
+        "batched_dispatch_speedup",
+        {"requests": count, **{backend: round(value, 3) for backend, value in speedups.items()}},
+    )
     # Acceptance property: the stacked dispatch beats the per-request loop
     # by >= 3x on the cycle-accurate backend at batch 16.
     assert speedups["simulator"] >= BATCHED_DISPATCH_SPEEDUP_FLOOR
@@ -181,6 +191,19 @@ def test_continuous_batching_beats_drain_on_mixed_length_trace(benchmark):
     )
     print(f"bursty flash-crowd: {bursty.speedup:.2f}x continuous over drain")
 
+    record_bench(
+        "BENCH_serving.json",
+        "continuous_over_drain",
+        {
+            "requests": count,
+            "poisson_speedup": round(comparison.speedup, 3),
+            "bursty_speedup": round(bursty.speedup, 3),
+            "continuous_req_per_s": round(continuous.requests_per_second, 1),
+            "drain_req_per_s": round(drain.requests_per_second, 1),
+            "continuous_occupancy": round(continuous.mean_occupancy, 4),
+            "latency_p95_ms": round(continuous.latency_p95_seconds * 1e3, 3),
+        },
+    )
     # Acceptance property: >= 1.5x modelled req/s at high mixed-length load,
     # on both arrival patterns, and the gain is slot occupancy, not clock
     # trickery (same step model priced both runs).
@@ -291,6 +314,15 @@ def test_batched_multishard_beats_sequential_single_shard(benchmark):
         f"\nrequests/sec: batched 4-shard {batched_rps:.0f} vs sequential "
         f"{sequential_rps:.0f} ({batched_rps / sequential_rps:.2f}x), "
         f"batch occupancy {batched.stats.batch_occupancy:.0%}"
+    )
+    record_bench(
+        "BENCH_serving.json",
+        "multishard_over_sequential",
+        {
+            "batched_req_per_s": round(batched_rps, 1),
+            "sequential_req_per_s": round(sequential_rps, 1),
+            "speedup": round(batched_rps / sequential_rps, 3),
+        },
     )
     # Acceptance property: strictly higher device throughput for the same set.
     assert batched_rps > sequential_rps

@@ -10,7 +10,11 @@ scheduler to show what mid-flight admission buys over drain batching.
 Run with ``python examples/serving_demo.py`` — or use the installed
 ``repro-serve`` console script for the configurable CLI variant
 (``repro-serve --mode continuous --compare`` for the continuous half).
+Pass ``--events trace.jsonl`` to stream the continuous run's telemetry to a
+JSONL event log, then inspect it with ``repro-trace``.
 """
+
+import argparse
 
 import numpy as np
 
@@ -24,9 +28,39 @@ from repro.serving import (
     poisson_arrivals,
     swat_request_rate,
 )
+from repro.telemetry import EventBus, EventLogWriter
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="stream the continuous run's telemetry to a JSONL event log",
+    )
+    args = parser.parse_args(argv)
+    bus = writer = None
+    if args.events:
+        bus = EventBus()
+        writer = EventLogWriter(args.events)
+        bus.subscribe(writer)
+    try:
+        _run(bus)
+    finally:
+        if writer is not None:
+            writer.close()
+    if args.events:
+        print(
+            f"\nwrote {writer.events_written} telemetry events to {args.events}; "
+            "inspect them with:\n"
+            f"  repro-trace summarize {args.events}\n"
+            f"  repro-trace replay {args.events} --strict\n"
+            f"  repro-trace watch {args.events} --once --plain"
+        )
+
+
+def _run(bus=None) -> None:
     # A scaled-down SWAT instance served by a pool of four shards.
     config = SWATConfig.longformer(window_tokens=64)
     print(f"SWAT configuration: {config.describe()}")
@@ -82,7 +116,9 @@ def main() -> None:
         functional=False,
         arrival_times=poisson_arrivals(len(trace_lens), rate, seed=0),
     )
-    comparison = compare_modes(trace, config=config, max_batch_size=8, iteration_rows=128)
+    comparison = compare_modes(
+        trace, config=config, max_batch_size=8, iteration_rows=128, bus=bus
+    )
     continuous, drain = comparison.continuous.stats, comparison.drain.stats
     print(
         f"\ncontinuous batching on a Poisson x4 trace: "

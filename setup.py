@@ -10,11 +10,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-swat",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of SWAT (DAC 2024): window-attention FPGA acceleration, "
-        "with a compiled execution-plan IR, whole-model plan compilation and "
-        "an async multi-accelerator serving layer"
+        "with a compiled execution-plan IR, whole-model plan compilation, an "
+        "async multi-accelerator serving layer and a streaming telemetry/"
+        "trace-replay observability layer"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
@@ -23,6 +24,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.serving.demo:main",
+            "repro-trace = repro.telemetry.trace:main",
         ]
     },
 )

@@ -21,6 +21,8 @@ from itertools import count
 from repro.core.config import SWATConfig
 from repro.serving.cache import config_fingerprint
 from repro.serving.request import AttentionRequest, ForwardRequest
+from repro.telemetry.bus import NULL_BUS
+from repro.telemetry.events import QueueDepth, RequestCancelled
 
 __all__ = ["seq_len_bucket", "Batch", "DynamicBatcher"]
 
@@ -50,9 +52,16 @@ class Batch:
 
 
 class DynamicBatcher:
-    """Accumulates requests per batch key and emits batches for dispatch."""
+    """Accumulates requests per batch key and emits batches for dispatch.
 
-    def __init__(self, config: SWATConfig, max_batch_size: int = 8):
+    ``bus`` makes every queue mutation emit a
+    :class:`~repro.telemetry.events.QueueDepth` event (plus
+    :class:`~repro.telemetry.events.RequestCancelled` for withdrawals);
+    ``clock`` is a zero-argument callable stamping those events — the engine
+    passes its run-relative wall clock, the default stamps 0.0.
+    """
+
+    def __init__(self, config: SWATConfig, max_batch_size: int = 8, bus=None, clock=None):
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         self.config = config
@@ -60,6 +69,8 @@ class DynamicBatcher:
         self._fingerprint = config_fingerprint(config)
         self._pending: "OrderedDict[tuple, list[AttentionRequest]]" = OrderedDict()
         self._batch_ids = count()
+        self._bus = bus if bus is not None else NULL_BUS
+        self._clock = clock if clock is not None else (lambda: 0.0)
 
     def batch_key(self, request: AttentionRequest) -> "tuple[object, ...]":
         """Grouping key: (config fingerprint, seq-len bucket).
@@ -83,7 +94,11 @@ class DynamicBatcher:
         bucket.append(request)
         if len(bucket) >= self.max_batch_size:
             del self._pending[key]
+            if self._bus.active:
+                self._bus.emit(QueueDepth(depth=self.pending_count, time=self._clock()))
             return Batch(batch_id=next(self._batch_ids), key=key, requests=bucket)
+        if self._bus.active:
+            self._bus.emit(QueueDepth(depth=self.pending_count, time=self._clock()))
         return None
 
     def cancel(self, request_id: int) -> bool:
@@ -100,6 +115,10 @@ class DynamicBatcher:
                     del requests[index]
                     if not requests:
                         del self._pending[key]
+                    if self._bus.active:
+                        now = self._clock()
+                        self._bus.emit(RequestCancelled(request_id=request_id, time=now))
+                        self._bus.emit(QueueDepth(depth=self.pending_count, time=now))
                     return True
         return False
 
@@ -114,4 +133,6 @@ class DynamicBatcher:
             for key, requests in self._pending.items()
         ]
         self._pending.clear()
+        if self._bus.active and batches:
+            self._bus.emit(QueueDepth(depth=0, time=self._clock()))
         return batches

@@ -30,6 +30,8 @@ from functools import cached_property
 from repro.core.config import SWATConfig
 from repro.core.plan import ExecutionPlan, compile_plan
 from repro.core.scheduler import RowMajorScheduler, RowPlan
+from repro.telemetry.bus import NULL_BUS
+from repro.telemetry.events import PlanCacheLookup
 
 __all__ = ["config_fingerprint", "CachedPlan", "PlanCache"]
 
@@ -76,14 +78,20 @@ class CachedPlan:
 
 
 class PlanCache:
-    """LRU cache of compiled execution plans keyed by (config fingerprint, seq_len)."""
+    """LRU cache of compiled execution plans keyed by (config fingerprint, seq_len).
 
-    def __init__(self, max_entries: int = 64):
+    ``bus`` (an :class:`~repro.telemetry.bus.EventBus`) makes every lookup
+    emit a :class:`~repro.telemetry.events.PlanCacheLookup` event — outside
+    the lock, so instrumentation never extends the critical section.
+    """
+
+    def __init__(self, max_entries: int = 64, bus=None):
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
         self._lock = threading.Lock()
+        self._bus = bus if bus is not None else NULL_BUS
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -115,8 +123,15 @@ class PlanCache:
             if entry is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
-                return entry
-            self.misses += 1
+            else:
+                self.misses += 1
+            size = len(self._entries)
+        if entry is not None:
+            if self._bus.active:
+                self._bus.emit(PlanCacheLookup(seq_len=seq_len, hit=True, entries=size))
+            return entry
+        if self._bus.active:
+            self._bus.emit(PlanCacheLookup(seq_len=seq_len, hit=False, entries=size))
         # Compile outside the lock: plan compilation is the expensive part
         # and concurrent workers must not serialise on it.  A racing double
         # build is benign (both results are identical); last write wins.

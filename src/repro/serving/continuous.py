@@ -64,6 +64,17 @@ from repro.serving.cache import PlanCache
 from repro.serving.engine import ServingResult
 from repro.serving.request import AttentionRequest, CompletedRequest
 from repro.serving.stats import ServingStats, percentile
+from repro.telemetry.bus import NULL_BUS
+from repro.telemetry.events import (
+    IterationAdvanced,
+    QueueDepth,
+    RequestAdmitted,
+    RequestArrived,
+    RequestRetired,
+    RunFinished,
+    RunStarted,
+    ShardOccupancy,
+)
 
 __all__ = [
     "ServingClock",
@@ -327,6 +338,7 @@ def serve_continuous(
     policy: str = "fcfs",
     plan_cache: "PlanCache | None" = None,
     backends: "list | None" = None,
+    bus=None,
 ) -> ServingResult:
     """Serve ``requests`` through the iteration-level scheduler.
 
@@ -347,7 +359,10 @@ def serve_continuous(
     :class:`ContinuousBatcher`).  ``backends`` reuses one
     already-constructed backend instance per shard (they should share
     ``plan_cache`` for the cache counters to mean anything); by default one
-    is created per shard.
+    is created per shard.  ``bus`` (an
+    :class:`~repro.telemetry.bus.EventBus`) streams the run's lifecycle,
+    iteration and occupancy events; with no bus (or no sinks) every emission
+    collapses to one branch.
     """
     if iteration_rows <= 0:
         raise ValueError(f"iteration_rows must be positive, got {iteration_rows}")
@@ -357,7 +372,9 @@ def serve_continuous(
             f"backend {backend!r} has no modelled per-iteration clock and cannot "
             f"serve in continuous mode (its clock is measured host time)"
         )
-    plan_cache = plan_cache if plan_cache is not None else PlanCache()
+    bus = bus if bus is not None else NULL_BUS
+    if plan_cache is None:
+        plan_cache = PlanCache(bus=bus) if bus.active else PlanCache()
     start_wall = time.perf_counter()
     cache_before = plan_cache.counters()
     if backends is not None:
@@ -370,6 +387,29 @@ def serve_continuous(
             for _ in range(num_shards)
         ]
     rows_of = shards[0].request_rows
+
+    if bus.active:
+        bus.emit(
+            RunStarted(
+                engine="continuous",
+                backend=backend,
+                num_shards=num_shards,
+                max_batch_size=max_batch_size,
+                num_requests=len(requests),
+                mode=admission,
+                policy=policy,
+                iteration_rows=iteration_rows,
+            )
+        )
+        for request in requests:
+            bus.emit(
+                RequestArrived(
+                    request_id=request.request_id,
+                    seq_len=request.seq_len,
+                    head_rows=request.head_rows,
+                    arrival_time=request.arrival_time,
+                )
+            )
 
     batcher = ContinuousBatcher(
         max_batch_size, num_shards=num_shards, admission=admission, policy=policy
@@ -393,6 +433,17 @@ def serve_continuous(
         residents = batcher.running[shard]
         if not residents:  # pragma: no cover - defensive; admit() always lands one
             continue
+        if bus.active and admitted:
+            for inflight in admitted:
+                bus.emit(
+                    RequestAdmitted(
+                        request_id=inflight.request.request_id,
+                        shard=shard,
+                        admit_time=inflight.admit_time,
+                        residency=inflight.residency_at_admit,
+                    )
+                )
+            bus.emit(QueueDepth(depth=batcher.waiting_count, time=clock.now))
         slices = batcher.slices(shard, iteration_rows)
         cost = shards[shard].step(
             [(inflight.request, inflight.rows_done, rows) for inflight, rows in slices],
@@ -420,6 +471,19 @@ def serve_continuous(
                     finish_time=inflight.finish_time,
                 )
             )
+            if bus.active:
+                bus.emit(
+                    RequestRetired(
+                        request_id=inflight.request.request_id,
+                        shard=shard,
+                        batch_id=inflight.admission_id,
+                        batch_size=inflight.residency_at_admit,
+                        device_seconds=inflight.device_seconds,
+                        arrival_time=inflight.request.arrival_time,
+                        admit_time=inflight.admit_time,
+                        finish_time=inflight.finish_time,
+                    )
+                )
         records.append(
             IterationRecord(
                 index=len(records),
@@ -436,6 +500,31 @@ def serve_continuous(
                 occupancy=len(slices) / max_batch_size,
             )
         )
+        if bus.active:
+            record = records[-1]
+            bus.emit(
+                IterationAdvanced(
+                    index=record.index,
+                    shard=shard,
+                    start_seconds=start,
+                    seconds=cost.seconds,
+                    cycles=cost.cycles,
+                    energy_joules=cost.energy_joules,
+                    gate_rows=cost.gate_rows,
+                    primed=record.primed,
+                    num_resident=len(slices),
+                    occupancy=record.occupancy,
+                )
+            )
+            bus.emit(
+                ShardOccupancy(
+                    shard=shard,
+                    residents=len(slices),
+                    slots=max_batch_size,
+                    occupancy=record.occupancy,
+                    time=start,
+                )
+            )
         # The pipeline stays primed only while the shard keeps streaming.
         primed[shard] = bool(batcher.running[shard])
 
@@ -468,6 +557,8 @@ def serve_continuous(
         latency_p50_seconds=percentile(latencies, 50.0),
         latency_p95_seconds=percentile(latencies, 95.0),
     )
+    if bus.active:
+        bus.emit(RunFinished(wall_seconds=wall_seconds, stats=stats.to_dict()))
     return ServingResult(
         completed=completed,
         stats=stats,
@@ -621,6 +712,7 @@ def compare_modes(
     max_batch_size: int = 8,
     iteration_rows: int = DEFAULT_ITERATION_ROWS,
     policy: str = "fcfs",
+    bus=None,
 ) -> ScenarioComparison:
     """Run one arrival trace under both admission policies, same clock.
 
@@ -628,10 +720,12 @@ def compare_modes(
     the reported :attr:`ScenarioComparison.speedup` isolates what mid-flight
     admission/retirement buys over static drain batching.  Each policy gets
     its own :class:`~repro.serving.cache.PlanCache` so cache counters stay
-    comparable.
+    comparable.  ``bus`` instruments the *continuous-admission* run only —
+    an event log holds exactly one run, so replay stays well-defined.
     """
     results = {}
     for admission in ADMISSION_MODES:
+        run_bus = bus if admission == "continuous" else None
         results[admission] = serve_continuous(
             requests,
             config=config,
@@ -641,6 +735,7 @@ def compare_modes(
             iteration_rows=iteration_rows,
             admission=admission,
             policy=policy,
-            plan_cache=PlanCache(),
+            plan_cache=PlanCache(bus=run_bus) if run_bus is not None else PlanCache(),
+            bus=run_bus,
         )
     return ScenarioComparison(continuous=results["continuous"], drain=results["drain"])

@@ -138,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain mode: also run sequential single-shard dispatch; "
         "continuous mode: also run drain admission on the same clock",
     )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="write the run's telemetry event stream to PATH as JSONL "
+        "(replay/inspect it with repro-trace; with --compare only the "
+        "primary run is logged)",
+    )
     return parser
 
 
@@ -183,13 +191,15 @@ def _serve(
     backend: str,
     num_shards: int,
     max_batch_size: int,
+    bus=None,
 ) -> ServingResult:
     engine = ServingEngine(
         config=config,
         backend=backend,
         num_shards=num_shards,
         max_batch_size=max_batch_size,
-        plan_cache=PlanCache(),
+        plan_cache=PlanCache(bus=bus),
+        bus=bus,
     )
     return engine.serve(requests)
 
@@ -211,14 +221,14 @@ def _speedup_lines(label: str, fast: ServingResult, slow: ServingResult) -> "lis
     return lines
 
 
-def _run_drain(args, config: SWATConfig) -> int:
+def _run_drain(args, config: SWATConfig, bus=None) -> int:
     functional = REGISTRY.backend_class(args.backend).functional
     requests = _build_requests(args, config, functional)
 
     kind = "whole-model forward" if args.model else "attention"
     print(f"serving {len(requests)} {kind} requests on {args.shards} shard(s), "
           f"batch size {args.batch_size}, backend {args.backend!r}\n")
-    result = _serve(config, requests, args.backend, args.shards, args.batch_size)
+    result = _serve(config, requests, args.backend, args.shards, args.batch_size, bus=bus)
     print(result.stats.render())
 
     if args.compare:
@@ -231,7 +241,7 @@ def _run_drain(args, config: SWATConfig) -> int:
     return 0
 
 
-def _run_continuous(args, config: SWATConfig) -> int:
+def _run_continuous(args, config: SWATConfig, bus=None) -> int:
     seq_lens = _request_seq_lens(args)
     if seq_lens:
         rate = args.load * swat_request_rate(
@@ -261,6 +271,7 @@ def _run_continuous(args, config: SWATConfig) -> int:
             max_batch_size=args.batch_size,
             iteration_rows=args.iteration_rows,
             policy=args.policy,
+            bus=bus,
         )
         print(comparison.continuous.stats.to_table("Continuous admission").render())
         print()
@@ -279,7 +290,8 @@ def _run_continuous(args, config: SWATConfig) -> int:
         max_batch_size=args.batch_size,
         iteration_rows=args.iteration_rows,
         policy=args.policy,
-        plan_cache=PlanCache(),
+        plan_cache=PlanCache(bus=bus),
+        bus=bus,
     )
     print(result.stats.to_table("Continuous admission").render())
     return 0
@@ -314,9 +326,26 @@ def main(argv: "list[str] | None" = None) -> int:
             f"model: {args.model_layers} layers x {args.model_heads} heads per forward "
             f"(one ModelPlan per distinct seq_len)"
         )
-    if args.mode == "continuous":
-        return _run_continuous(args, config)
-    return _run_drain(args, config)
+    bus = None
+    writer = None
+    if args.events:
+        from repro.telemetry import EventBus, EventLogWriter
+
+        bus = EventBus()
+        writer = EventLogWriter(args.events)
+        bus.subscribe(writer)
+    try:
+        if args.mode == "continuous":
+            status = _run_continuous(args, config, bus=bus)
+        else:
+            status = _run_drain(args, config, bus=bus)
+    finally:
+        if writer is not None:
+            writer.close()
+    if writer is not None:
+        print(f"\nwrote {writer.events_written} events to {args.events} "
+              f"(inspect with: repro-trace summarize {args.events})")
+    return status
 
 
 if __name__ == "__main__":

@@ -34,7 +34,16 @@ from repro.serving.backends import AttentionBackend, create_backend
 from repro.serving.batcher import Batch, DynamicBatcher
 from repro.serving.cache import PlanCache
 from repro.serving.request import AttentionRequest, CompletedRequest
-from repro.serving.stats import BatchRecord, ServingStats
+from repro.serving.stats import BatchRecord, ServingStats, percentile
+from repro.telemetry.bus import NULL_BUS
+from repro.telemetry.events import (
+    BatchDispatched,
+    RequestAdmitted,
+    RequestArrived,
+    RequestRetired,
+    RunFinished,
+    RunStarted,
+)
 
 __all__ = ["ServingResult", "ServingEngine"]
 
@@ -83,6 +92,7 @@ class ServingEngine:
         mode: str = "drain",
         iteration_rows: "int | None" = None,
         policy: str = "fcfs",
+        bus=None,
     ):
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -92,7 +102,13 @@ class ServingEngine:
         self.backend_name = backend
         self.num_shards = num_shards
         self.max_batch_size = max_batch_size
-        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.bus = bus if bus is not None else NULL_BUS
+        # An instrumented engine without an explicit cache builds one wired to
+        # the same bus, so plan-cache lookups land in the same event log.
+        if plan_cache is not None:
+            self.plan_cache = plan_cache
+        else:
+            self.plan_cache = PlanCache(bus=bus) if bus is not None else PlanCache()
         self.mode = mode
         self.iteration_rows = iteration_rows
         self.policy = policy
@@ -134,6 +150,7 @@ class ServingEngine:
                 policy=self.policy,
                 plan_cache=self.plan_cache,
                 backends=self.shards,
+                bus=self.bus,
             )
         return asyncio.run(self.serve_async(requests))
 
@@ -142,11 +159,36 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
 
     async def serve_async(self, requests: "list[AttentionRequest]") -> ServingResult:
-        """Async entry point: submit every request, drain the pool, account."""
+        """Async entry point: submit every request, drain the pool, account.
+
+        Requests stamped with a positive ``arrival_time`` are *paced*: the
+        engine sorts them by arrival instant and sleeps the wall clock up to
+        each one before submitting it, so a trace recorded on the simulated
+        continuous clock replays here in real time (events comparable log to
+        log).  All-zero arrival times — the historical drain contract — skip
+        pacing entirely and keep submission order untouched.
+        """
+        bus = self.bus
         start_wall = time.perf_counter()
         cache_before = self.plan_cache.counters()
 
-        batcher = DynamicBatcher(self.config, max_batch_size=self.max_batch_size)
+        def elapsed() -> float:
+            return time.perf_counter() - start_wall
+
+        if bus.active:
+            bus.emit(
+                RunStarted(
+                    engine="drain",
+                    backend=self.backend_name,
+                    num_shards=self.num_shards,
+                    max_batch_size=self.max_batch_size,
+                    num_requests=len(requests),
+                )
+            )
+
+        batcher = DynamicBatcher(
+            self.config, max_batch_size=self.max_batch_size, bus=bus, clock=elapsed
+        )
         queues: "list[asyncio.Queue]" = [asyncio.Queue() for _ in range(self.num_shards)]
         # Estimated rows already assigned per shard: the load-balancing signal
         # (device seconds are proportional to rows for a fixed config).
@@ -154,6 +196,9 @@ class ServingEngine:
         shard_busy = [0.0] * self.num_shards
         records: "list[BatchRecord]" = []
         completed: "list[CompletedRequest]" = []
+        # Wall-clock lifecycle stamps (seconds since start_wall) per request.
+        arrival_offset: "dict[int, float]" = {}
+        admit_offset: "dict[int, float]" = {}
 
         async def worker(shard_index: int) -> None:
             backend = self.shards[shard_index]
@@ -164,6 +209,7 @@ class ServingEngine:
                     queue.task_done()
                     return
                 result = await asyncio.to_thread(backend.execute_batch, batch.requests)
+                finish = elapsed()
                 shard_busy[shard_index] += result.device_seconds
                 records.append(
                     BatchRecord(
@@ -176,27 +222,86 @@ class ServingEngine:
                         head_rows=result.head_rows,
                     )
                 )
-                for request, output in zip(batch.requests, result.outputs):
-                    completed.append(
-                        CompletedRequest(
-                            request=request,
-                            output=output,
-                            shard=shard_index,
+                if bus.active:
+                    bus.emit(
+                        BatchDispatched(
                             batch_id=batch.batch_id,
-                            batch_size=len(batch),
+                            shard=shard_index,
+                            size=len(batch),
+                            total_rows=batch.total_rows,
                             device_seconds=result.device_seconds,
+                            energy_joules=result.energy_joules,
+                            head_rows=result.head_rows,
                         )
                     )
+                for request, output in zip(batch.requests, result.outputs):
+                    done = CompletedRequest(
+                        request=request,
+                        output=output,
+                        shard=shard_index,
+                        batch_id=batch.batch_id,
+                        batch_size=len(batch),
+                        device_seconds=result.device_seconds,
+                        arrival_time=arrival_offset.get(request.request_id, 0.0),
+                        admit_time=admit_offset.get(request.request_id, 0.0),
+                        finish_time=finish,
+                    )
+                    completed.append(done)
+                    if bus.active:
+                        bus.emit(
+                            RequestRetired(
+                                request_id=request.request_id,
+                                shard=shard_index,
+                                batch_id=batch.batch_id,
+                                batch_size=len(batch),
+                                device_seconds=result.device_seconds,
+                                arrival_time=done.arrival_time,
+                                admit_time=done.admit_time,
+                                finish_time=finish,
+                            )
+                        )
                 queue.task_done()
 
         async def dispatch(batch: Batch) -> None:
             shard_index = min(range(self.num_shards), key=lambda i: assigned_rows[i])
             assigned_rows[shard_index] += batch.total_rows
+            now = elapsed()
+            for request in batch.requests:
+                admit_offset[request.request_id] = now
+                if bus.active:
+                    bus.emit(
+                        RequestAdmitted(
+                            request_id=request.request_id,
+                            shard=shard_index,
+                            admit_time=now,
+                            residency=len(batch),
+                        )
+                    )
             await queues[shard_index].put(batch)
 
+        paced = any(request.arrival_time > 0 for request in requests)
+        ordered = (
+            sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+            if paced
+            else requests
+        )
         workers = [asyncio.create_task(worker(index)) for index in range(self.num_shards)]
         try:
-            for request in requests:
+            for request in ordered:
+                if paced:
+                    delay = request.arrival_time - elapsed()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                arrival_offset[request.request_id] = elapsed()
+                if bus.active:
+                    bus.emit(
+                        RequestArrived(
+                            request_id=request.request_id,
+                            seq_len=request.seq_len,
+                            head_rows=request.head_rows,
+                            arrival_time=request.arrival_time,
+                        )
+                    )
                 full = batcher.add(request)
                 if full is not None:
                     await dispatch(full)
@@ -213,6 +318,8 @@ class ServingEngine:
         cache_after = self.plan_cache.counters()
         position = {request.request_id: index for index, request in enumerate(requests)}
         completed.sort(key=lambda done: position[done.request.request_id])
+        queue_waits = [done.queue_seconds for done in completed]
+        latencies = [done.latency_seconds for done in completed]
         stats = ServingStats(
             backend=self.backend_name,
             num_requests=len(requests),
@@ -226,7 +333,13 @@ class ServingEngine:
             cache_hits=cache_after["hits"] - cache_before["hits"],
             cache_misses=cache_after["misses"] - cache_before["misses"],
             total_head_rows=sum(record.head_rows for record in records),
+            queue_p50_seconds=percentile(queue_waits, 50.0),
+            queue_p95_seconds=percentile(queue_waits, 95.0),
+            latency_p50_seconds=percentile(latencies, 50.0),
+            latency_p95_seconds=percentile(latencies, 95.0),
         )
+        if bus.active:
+            bus.emit(RunFinished(wall_seconds=wall_seconds, stats=stats.to_dict()))
         return ServingResult(
             completed=completed,
             stats=stats,

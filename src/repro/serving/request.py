@@ -221,9 +221,10 @@ class CompletedRequest:
         request was resident in — residents share an iteration's clock, so
         the duration counts fully for each of them).
     arrival_time, admit_time, finish_time:
-        Simulated-clock lifecycle instants (continuous mode only; the drain
-        path leaves them at 0).  ``admit_time - arrival_time`` is the queue
-        wait, ``finish_time - arrival_time`` the request latency.
+        Lifecycle instants: simulated-clock in continuous mode, wall-clock
+        offsets from engine start in drain mode.  ``admit_time -
+        arrival_time`` is the queue wait, ``finish_time - arrival_time``
+        the request latency.
     """
 
     request: AttentionRequest

@@ -11,7 +11,8 @@ with the paper-table reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from math import ceil
 
 from repro.analysis.report import Table
 
@@ -24,14 +25,21 @@ def percentile(values: "list[float]", q: float) -> float:
     The serving layer's latency reporting helper: no interpolation, so the
     returned value is always one actually observed — and the simulated-clock
     tests can assert on it exactly.  Returns 0.0 for an empty sample.
+
+    Matches ``numpy.percentile(values, q, method="inverted_cdf")`` for every
+    non-empty sample (property-tested), including numpy's evaluation of the
+    rank position in float arithmetic — the previous integer-truncated rank
+    dropped the fractional part of ``q * n`` before ceiling, under-ranking
+    samples where ``q * n / 100`` has a fractional tail (e.g. q=28.0, n=50).
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be within [0, 100], got {q}")
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil(q/100 * n), clamped to >= 1
-    return ordered[rank - 1]
+    position = q / 100.0 * len(ordered) - 1.0  # float, exactly as numpy evaluates it
+    rank = min(len(ordered) - 1, max(0, ceil(position)))
+    return ordered[rank]
 
 
 @dataclass(frozen=True)
@@ -191,6 +199,8 @@ class ServingStats:
                     "shards": self.num_shards,
                     "mean batch size": self.mean_batch_size,
                     "batch occupancy": self.batch_occupancy,
+                    "latency p50 [s]": self.latency_p50_seconds,
+                    "latency p95 [s]": self.latency_p95_seconds,
                 }
             )
         rows.update(
@@ -207,6 +217,34 @@ class ServingStats:
         return Table.from_mapping(
             title if title is not None else f"Serving stats ({self.backend})", rows
         )
+
+    def to_dict(self) -> "dict[str, object]":
+        """Lossless JSON-able mapping of every field (tuples become lists).
+
+        Numeric values are coerced to exact Python scalars, so the dict
+        round-trips through JSON bit-identically — the contract the
+        telemetry layer's ``run_finished`` event and
+        :meth:`from_dict` rely on.
+        """
+        record: "dict[str, object]" = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "shard_busy_seconds":
+                record[spec.name] = [float(busy) for busy in value]
+            elif isinstance(value, str):
+                record[spec.name] = value
+            elif spec.type in ("int", int):
+                record[spec.name] = int(value)
+            else:
+                record[spec.name] = float(value)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: "dict[str, object]") -> "ServingStats":
+        """Rebuild stats from a :meth:`to_dict` mapping."""
+        payload = dict(record)
+        payload["shard_busy_seconds"] = tuple(payload["shard_busy_seconds"])
+        return cls(**payload)
 
     def render(self) -> str:
         """Plain-text report (the table, rendered)."""

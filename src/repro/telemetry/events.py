@@ -1,0 +1,251 @@
+"""Versioned, typed serving events.
+
+Every event the serving layer emits is a frozen dataclass below, tagged with
+a string ``kind`` and sharing one :data:`SCHEMA_VERSION`.  Events are emitted
+*at the accounting points, in accounting order* — each event carries exactly
+the numbers the engine folds into its own
+:class:`~repro.serving.stats.ServingStats`, so a log of one run is a
+sufficient statistic: :class:`~repro.telemetry.replay.TraceReplayer` re-runs
+the same aggregation over the same values in the same order and reproduces
+the stats bit-identically.
+
+Serialisation is symmetric and lossless: :func:`to_record` maps an event to
+a flat JSON-able dict (``{"v": ..., "kind": ..., **fields}``) and
+:func:`from_record` maps it back.  Floats survive the JSON round trip
+bit-exactly (``repr`` of a float is re-read to the same bits), which is what
+makes replay *bit*-identical rather than merely approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "Event",
+    "RunStarted",
+    "RunFinished",
+    "RequestArrived",
+    "RequestAdmitted",
+    "RequestRetired",
+    "RequestCancelled",
+    "BatchDispatched",
+    "IterationAdvanced",
+    "ShardOccupancy",
+    "QueueDepth",
+    "PlanCacheLookup",
+    "to_record",
+    "from_record",
+]
+
+#: Version stamped into every serialised record; bumped on any field change.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class every serving event derives from."""
+
+    kind: ClassVar[str] = ""
+
+
+@dataclass(frozen=True)
+class RunStarted(Event):
+    """A serving run began.
+
+    ``engine`` distinguishes the two execution engines — ``"drain"`` (the
+    asyncio batch-drain pool, wall-clock timestamps) and ``"continuous"``
+    (the simulated-clock iteration scheduler) — which is what the replayer
+    keys its aggregation shape on.  ``mode`` is the *admission policy* of a
+    continuous-clock run (``"continuous"`` or ``"drain"``), matching
+    :attr:`~repro.serving.stats.ServingStats.mode`.
+    """
+
+    kind: ClassVar[str] = "run_started"
+    engine: str
+    backend: str
+    num_shards: int
+    max_batch_size: int
+    num_requests: int
+    mode: str = "drain"
+    policy: str = "fcfs"
+    #: Rows per iteration slice of a continuous-clock run (0 on the drain engine).
+    iteration_rows: int = 0
+
+
+@dataclass(frozen=True)
+class RequestArrived(Event):
+    """A request became visible to the scheduler."""
+
+    kind: ClassVar[str] = "request_arrived"
+    request_id: int
+    seq_len: int
+    #: Accounted ``num_heads * seq_len`` work units (summed over layers for
+    #: whole-model forwards) — what ``total_head_rows`` sums on the
+    #: continuous engine.
+    head_rows: int
+    arrival_time: float
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(Event):
+    """A request was admitted into a running batch (or dispatched batch)."""
+
+    kind: ClassVar[str] = "request_admitted"
+    request_id: int
+    shard: int
+    admit_time: float
+    #: Residents on the shard right after admission (drain: the batch size).
+    residency: int
+
+
+@dataclass(frozen=True)
+class RequestRetired(Event):
+    """A request completed; carries its full lifecycle accounting."""
+
+    kind: ClassVar[str] = "request_retired"
+    request_id: int
+    shard: int
+    batch_id: int
+    batch_size: int
+    device_seconds: float
+    arrival_time: float
+    admit_time: float
+    finish_time: float
+
+
+@dataclass(frozen=True)
+class RequestCancelled(Event):
+    """A pending request was withdrawn before dispatch."""
+
+    kind: ClassVar[str] = "request_cancelled"
+    request_id: int
+    time: float
+
+
+@dataclass(frozen=True)
+class BatchDispatched(Event):
+    """One drain-engine batch finished executing on a shard.
+
+    Emitted co-located with the engine's ``BatchRecord`` append, so the log
+    order of these events is the engine's accounting order — the replayer's
+    per-shard busy-time and energy sums fold the same floats in the same
+    sequence.
+    """
+
+    kind: ClassVar[str] = "batch_dispatched"
+    batch_id: int
+    shard: int
+    size: int
+    total_rows: int
+    device_seconds: float
+    energy_joules: float
+    head_rows: int
+
+
+@dataclass(frozen=True)
+class IterationAdvanced(Event):
+    """One priced iteration of the continuous engine advanced a shard."""
+
+    kind: ClassVar[str] = "iteration_advanced"
+    index: int
+    shard: int
+    start_seconds: float
+    seconds: float
+    cycles: "int | None"
+    energy_joules: float
+    gate_rows: int
+    primed: bool
+    num_resident: int
+    occupancy: float
+
+
+@dataclass(frozen=True)
+class ShardOccupancy(Event):
+    """Instantaneous slot occupancy of one shard."""
+
+    kind: ClassVar[str] = "shard_occupancy"
+    shard: int
+    residents: int
+    slots: int
+    occupancy: float
+    time: float
+
+
+@dataclass(frozen=True)
+class QueueDepth(Event):
+    """Depth of the waiting/pending queue after a batcher mutation."""
+
+    kind: ClassVar[str] = "queue_depth"
+    depth: int
+    time: float
+
+
+@dataclass(frozen=True)
+class PlanCacheLookup(Event):
+    """One plan-cache lookup resolved (hit or compile-on-miss)."""
+
+    kind: ClassVar[str] = "plan_cache_lookup"
+    seq_len: int
+    hit: bool
+    entries: int
+
+
+@dataclass(frozen=True)
+class RunFinished(Event):
+    """The run completed.
+
+    ``wall_seconds`` is the one stats field a log cannot reconstruct (it is
+    measured, not accounted), and ``stats`` is the engine's own rendered
+    :meth:`~repro.serving.stats.ServingStats.to_dict` — carried so
+    ``repro-trace replay --strict`` can cross-check the reconstruction
+    against what the live run reported, without the tests depending on it.
+    """
+
+    kind: ClassVar[str] = "run_finished"
+    wall_seconds: float
+    stats: "dict[str, object]"
+
+
+#: ``kind`` string -> event class, for deserialisation.
+EVENT_TYPES: "dict[str, type[Event]]" = {
+    cls.kind: cls
+    for cls in (
+        RunStarted,
+        RequestArrived,
+        RequestAdmitted,
+        RequestRetired,
+        RequestCancelled,
+        BatchDispatched,
+        IterationAdvanced,
+        ShardOccupancy,
+        QueueDepth,
+        PlanCacheLookup,
+        RunFinished,
+    )
+}
+
+
+def to_record(event: Event) -> "dict[str, object]":
+    """Serialise ``event`` to a flat JSON-able dict (version + kind + fields)."""
+    record: "dict[str, object]" = {"v": SCHEMA_VERSION, "kind": event.kind}
+    for spec in fields(event):
+        record[spec.name] = getattr(event, spec.name)
+    return record
+
+
+def from_record(record: "dict[str, object]") -> Event:
+    """Deserialise one :func:`to_record` dict back into its event class."""
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported event schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    kind = record.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    payload = {key: value for key, value in record.items() if key not in ("v", "kind")}
+    return cls(**payload)

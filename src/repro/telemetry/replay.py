@@ -1,0 +1,175 @@
+"""Bit-exact reconstruction of :class:`ServingStats` from an event log.
+
+The engines emit events at exactly their accounting points, in accounting
+order (see :mod:`repro.telemetry.events`), so replaying a log means folding
+the same floats through the same aggregation functions in the same sequence:
+
+- per-shard busy time and total energy are running float sums in log order
+  (log order equals the engine's accumulation order by construction);
+- makespan is a ``max`` (order-free);
+- queue/latency percentiles go through the engine's own
+  :func:`repro.serving.stats.percentile` (it sorts, so order-free);
+- mean occupancy goes through :func:`statistics.mean` (exact rational
+  arithmetic, same as the engine).
+
+The only field a log cannot reproduce is the measured ``wall_seconds``; the
+``run_finished`` event carries it (plus the engine's own stats dict, used by
+``repro-trace replay --strict`` as an end-to-end cross-check).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.serving.stats import ServingStats, percentile
+from repro.telemetry.events import (
+    BatchDispatched,
+    Event,
+    IterationAdvanced,
+    PlanCacheLookup,
+    RequestArrived,
+    RequestRetired,
+    RunFinished,
+    RunStarted,
+)
+from repro.telemetry.log import EventLogReader
+
+__all__ = ["TraceReplayer", "replay_stats", "verify_log"]
+
+
+class TraceReplayer:
+    """Fold a run's events back into the engine's :class:`ServingStats`."""
+
+    def __init__(self) -> None:
+        self.run: "RunStarted | None" = None
+        self.finished: "RunFinished | None" = None
+        self._shard_busy: "list[float]" = []
+        self._total_energy = 0.0
+        self._num_iterations = 0
+        self._num_batches = 0
+        self._arrived_head_rows = 0
+        self._batch_head_rows = 0
+        self._occupancies: "list[float]" = []
+        self._queue_waits: "list[float]" = []
+        self._latencies: "list[float]" = []
+        self._finish_times: "list[float]" = []
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def feed(self, event: Event) -> None:
+        """Fold one event into the running aggregation."""
+        if isinstance(event, RunStarted):
+            if self.run is not None:
+                raise ValueError("log contains more than one run_started event")
+            self.run = event
+            self._shard_busy = [0.0] * event.num_shards
+        elif isinstance(event, RequestArrived):
+            self._arrived_head_rows += event.head_rows
+        elif isinstance(event, IterationAdvanced):
+            self._num_iterations += 1
+            self._shard_busy[event.shard] += event.seconds
+            self._total_energy += event.energy_joules
+            self._occupancies.append(event.occupancy)
+        elif isinstance(event, BatchDispatched):
+            self._num_batches += 1
+            self._shard_busy[event.shard] += event.device_seconds
+            self._total_energy += event.energy_joules
+            self._batch_head_rows += event.head_rows
+        elif isinstance(event, RequestRetired):
+            self._queue_waits.append(event.admit_time - event.arrival_time)
+            self._latencies.append(event.finish_time - event.arrival_time)
+            self._finish_times.append(event.finish_time)
+        elif isinstance(event, PlanCacheLookup):
+            if event.hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+        elif isinstance(event, RunFinished):
+            self.finished = event
+
+    def feed_all(self, events) -> "TraceReplayer":
+        """Fold every event of an iterable; returns ``self`` for chaining."""
+        for event in events:
+            self.feed(event)
+        return self
+
+    @property
+    def wall_seconds(self) -> float:
+        """Measured wall clock carried by ``run_finished`` (0.0 if absent)."""
+        return self.finished.wall_seconds if self.finished is not None else 0.0
+
+    def stats(self) -> ServingStats:
+        """The reconstructed :class:`ServingStats` of the replayed run."""
+        run = self.run
+        if run is None:
+            raise ValueError("log contains no run_started event; nothing to replay")
+        if run.engine == "continuous":
+            return ServingStats(
+                backend=run.backend,
+                num_requests=run.num_requests,
+                num_batches=self._num_iterations,
+                num_shards=run.num_shards,
+                max_batch_size=run.max_batch_size,
+                device_makespan_seconds=max(self._finish_times, default=0.0),
+                shard_busy_seconds=tuple(self._shard_busy),
+                total_energy_joules=self._total_energy,
+                wall_seconds=self.wall_seconds,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                total_head_rows=self._arrived_head_rows,
+                mode=run.mode,
+                policy=run.policy,
+                num_iterations=self._num_iterations,
+                mean_occupancy=mean(self._occupancies) if self._occupancies else 0.0,
+                queue_p50_seconds=percentile(self._queue_waits, 50.0),
+                queue_p95_seconds=percentile(self._queue_waits, 95.0),
+                latency_p50_seconds=percentile(self._latencies, 50.0),
+                latency_p95_seconds=percentile(self._latencies, 95.0),
+            )
+        return ServingStats(
+            backend=run.backend,
+            num_requests=run.num_requests,
+            num_batches=self._num_batches,
+            num_shards=run.num_shards,
+            max_batch_size=run.max_batch_size,
+            device_makespan_seconds=max(self._shard_busy) if self._shard_busy else 0.0,
+            shard_busy_seconds=tuple(self._shard_busy),
+            total_energy_joules=self._total_energy,
+            wall_seconds=self.wall_seconds,
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+            total_head_rows=self._batch_head_rows,
+            queue_p50_seconds=percentile(self._queue_waits, 50.0),
+            queue_p95_seconds=percentile(self._queue_waits, 95.0),
+            latency_p50_seconds=percentile(self._latencies, 50.0),
+            latency_p95_seconds=percentile(self._latencies, 95.0),
+        )
+
+
+def replay_stats(events) -> ServingStats:
+    """Replay an iterable of events (or a log path) into :class:`ServingStats`."""
+    if isinstance(events, (str, bytes)) or hasattr(events, "__fspath__"):
+        events = EventLogReader(events)
+    return TraceReplayer().feed_all(events).stats()
+
+
+def verify_log(path) -> "list[str]":
+    """Cross-check a log's reconstruction against its recorded stats.
+
+    Replays the log, compares every field of the reconstructed stats against
+    the ``run_finished`` event's recorded :meth:`ServingStats.to_dict`, and
+    returns a list of human-readable mismatch descriptions (empty when the
+    reconstruction is bit-identical).
+    """
+    replayer = TraceReplayer().feed_all(EventLogReader(path))
+    reconstructed = replayer.stats().to_dict()
+    if replayer.finished is None:
+        return ["log has no run_finished event; recorded stats unavailable"]
+    recorded = replayer.finished.stats
+    mismatches = []
+    for field_name in sorted(set(recorded) | set(reconstructed)):
+        got = reconstructed.get(field_name)
+        want = recorded.get(field_name)
+        if got != want:
+            mismatches.append(f"{field_name}: replayed {got!r} != recorded {want!r}")
+    return mismatches

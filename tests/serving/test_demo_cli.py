@@ -3,6 +3,7 @@
 import pytest
 
 from repro.serving.demo import build_parser, main
+from repro.telemetry.trace import main as trace_main
 
 
 class TestDrainCli:
@@ -65,6 +66,100 @@ class TestModelCli:
         argv += ["--seq-lens", "32", "--window-tokens", "16", "--model-layers", "2"]
         assert main(argv) == 0
         assert "whole-model forward" in capsys.readouterr().out
+
+
+class TestEventLogCli:
+    """``repro-serve --events`` handing a log to the ``repro-trace`` commands."""
+
+    def _serve_with_events(self, tmp_path, extra=()):
+        path = tmp_path / "run.jsonl"
+        argv = ["--backend", "analytical", "--requests", "8", "--seq-lens", "64", "128"]
+        argv += ["--events", str(path), *extra]
+        assert main(argv) == 0
+        assert path.exists()
+        return path
+
+    def test_drain_events_flag_writes_log(self, tmp_path, capsys):
+        path = self._serve_with_events(tmp_path)
+        out = capsys.readouterr().out
+        assert f"repro-trace summarize {path}" in out
+        assert "wrote" in out and "events" in out
+
+    def test_continuous_events_replay_strict(self, tmp_path, capsys):
+        path = self._serve_with_events(tmp_path, extra=["--mode", "continuous"])
+        capsys.readouterr()
+        assert trace_main(["replay", str(path), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "replay verified" in out
+        assert "requests/sec (device)" in out
+
+    def test_drain_events_replay_strict(self, tmp_path, capsys):
+        path = self._serve_with_events(tmp_path)
+        capsys.readouterr()
+        assert trace_main(["replay", str(path), "--strict"]) == 0
+        assert "replay verified" in capsys.readouterr().out
+
+    def test_continuous_compare_events_replay_strict(self, tmp_path, capsys):
+        path = self._serve_with_events(
+            tmp_path, extra=["--mode", "continuous", "--compare"]
+        )
+        capsys.readouterr()
+        # --compare runs two engines but logs only the continuous one, so the
+        # log still contains exactly one replayable run.
+        assert trace_main(["replay", str(path), "--strict"]) == 0
+        assert "replay verified" in capsys.readouterr().out
+
+    def test_trace_summarize_counts_kinds(self, tmp_path, capsys):
+        path = self._serve_with_events(tmp_path, extra=["--mode", "continuous"])
+        capsys.readouterr()
+        assert trace_main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Event log summary" in out
+        assert "run_started" in out and "run_finished" in out
+        assert "request_retired" in out
+
+    def test_trace_summarize_json(self, tmp_path, capsys):
+        import json
+
+        path = self._serve_with_events(tmp_path, extra=["--mode", "continuous"])
+        capsys.readouterr()
+        assert trace_main(["summarize", str(path), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["event counts"]["run_finished"] == 1
+
+    def test_trace_watch_once_plain(self, tmp_path, capsys):
+        path = self._serve_with_events(tmp_path, extra=["--mode", "continuous"])
+        capsys.readouterr()
+        assert trace_main(["watch", str(path), "--once", "--plain"]) == 0
+        out = capsys.readouterr().out
+        assert "rolling req/s" in out
+        assert "finished" in out
+
+    def test_trace_missing_log_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            trace_main(["summarize", str(tmp_path / "absent.jsonl")])
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestExampleScript:
+    def test_serving_demo_example_events_flag(self, tmp_path, capsys):
+        """The examples/ walkthrough streams its continuous run to a log."""
+        import runpy
+        import sys
+        from pathlib import Path
+        from unittest import mock
+
+        example = Path(__file__).resolve().parents[2] / "examples" / "serving_demo.py"
+        log = tmp_path / "demo.jsonl"
+        with mock.patch.object(sys, "argv", [str(example), "--events", str(log)]):
+            runpy.run_path(str(example), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "continuous batching on a Poisson x4 trace" in out
+        assert f"repro-trace summarize {log}" in out
+        assert log.exists()
+        capsys.readouterr()
+        assert trace_main(["replay", str(log), "--strict"]) == 0
+        assert "replay verified" in capsys.readouterr().out
 
 
 class TestValidation:

@@ -126,3 +126,61 @@ class TestThroughputScaling:
     def test_invalid_shard_count_raises(self):
         with pytest.raises(ValueError):
             ServingEngine(config=_config(), num_shards=0)
+
+
+class TestArrivalPacing:
+    """Drain mode honours AttentionRequest.arrival_time with wall-clock pacing."""
+
+    def test_zero_arrivals_skip_pacing(self):
+        import time
+
+        config = _config()
+        requests = make_requests([24] * 8, config.head_dim, functional=False)
+        assert all(request.arrival_time == 0.0 for request in requests)
+        engine = ServingEngine(config=config, backend="analytical", max_batch_size=4)
+        start = time.monotonic()
+        result = engine.serve(requests)
+        assert time.monotonic() - start < 1.0
+        assert len(result.completed) == len(requests)
+
+    def test_paced_arrivals_stretch_the_run(self):
+        import time
+
+        config = _config()
+        arrivals = [0.0, 0.05, 0.1, 0.15]
+        requests = make_requests(
+            [24] * 4, config.head_dim, functional=False, arrival_times=arrivals
+        )
+        engine = ServingEngine(config=config, backend="analytical", max_batch_size=1)
+        start = time.monotonic()
+        result = engine.serve(requests)
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.15  # the last request cannot be admitted before it arrives
+        assert len(result.completed) == 4
+        # Lifecycle stamps respect arrival <= admit <= finish for every request.
+        for done in result.completed:
+            assert done.arrival_time <= done.admit_time <= done.finish_time
+
+    def test_paced_arrivals_are_admitted_in_arrival_order(self):
+        config = _config()
+        arrivals = [0.03, 0.0, 0.02, 0.01]
+        requests = make_requests(
+            [24] * 4, config.head_dim, functional=False, arrival_times=arrivals
+        )
+        engine = ServingEngine(config=config, backend="analytical", max_batch_size=1)
+        result = engine.serve(requests)
+        admitted = sorted(result.completed, key=lambda done: done.admit_time)
+        assert [done.request.arrival_time for done in admitted] == sorted(arrivals)
+
+    def test_paced_run_reports_latency_percentiles(self):
+        config = _config()
+        requests = make_requests(
+            [24, 32, 24, 32],
+            config.head_dim,
+            functional=False,
+            arrival_times=[0.0, 0.001, 0.002, 0.003],
+        )
+        engine = ServingEngine(config=config, backend="analytical", max_batch_size=2)
+        stats = engine.serve(requests).stats
+        assert stats.latency_p95_seconds >= stats.latency_p50_seconds > 0
+        assert "latency p50 [s]" in stats.render()

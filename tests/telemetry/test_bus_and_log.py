@@ -1,0 +1,118 @@
+"""EventBus semantics and the JSONL writer/reader pair."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.bus import NULL_BUS, EventBus
+from repro.telemetry.events import QueueDepth, RequestArrived
+from repro.telemetry.log import EventLogReader, EventLogWriter
+
+
+class TestEventBus:
+    def test_inactive_until_subscribed(self):
+        bus = EventBus()
+        assert not bus.active
+        bus.subscribe([].append)
+        assert bus.active
+
+    def test_emit_delivers_to_subscribed_sink(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(QueueDepth(depth=1, time=0.0))
+        assert seen == [QueueDepth(depth=1, time=0.0)]
+
+    def test_unsubscribe_deactivates(self):
+        bus = EventBus()
+        seen = []
+        sink = seen.append
+        bus.subscribe(sink)
+        bus.unsubscribe(sink)
+        assert not bus.active
+        bus.emit(QueueDepth(depth=1, time=0.0))
+        assert seen == []
+
+    def test_multiple_sinks_receive_in_order(self):
+        bus = EventBus()
+        first, second = [], []
+        bus.subscribe(first.append)
+        bus.subscribe(second.append)
+        event = QueueDepth(depth=2, time=1.0)
+        bus.emit(event)
+        assert first == [event] and second == [event]
+
+    def test_non_callable_sink_rejected(self):
+        with pytest.raises(TypeError):
+            EventBus().subscribe(object())
+
+    def test_null_bus_is_immutable(self):
+        assert not NULL_BUS.active
+        with pytest.raises(RuntimeError):
+            NULL_BUS.subscribe(print)
+
+
+class TestEventLog:
+    def test_writer_reader_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = [
+            RequestArrived(request_id=index, seq_len=64, head_rows=64, arrival_time=index / 8)
+            for index in range(5)
+        ]
+        with EventLogWriter(path) as writer:
+            for event in events:
+                writer(event)
+            assert writer.events_written == 5
+        assert list(EventLogReader(path)) == events
+
+    def test_writer_is_a_bus_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with EventLogWriter(path) as writer:
+            bus.subscribe(writer)
+            bus.emit(QueueDepth(depth=3, time=0.5))
+        assert list(EventLogReader(path)) == [QueueDepth(depth=3, time=0.5)]
+
+    def test_concurrent_writes_produce_whole_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogWriter(path) as writer:
+            threads = [
+                threading.Thread(
+                    target=lambda base: [
+                        writer(QueueDepth(depth=base * 100 + step, time=0.0))
+                        for step in range(50)
+                    ],
+                    args=(base,),
+                )
+                for base in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        events = list(EventLogReader(path))
+        assert len(events) == 200
+        assert sorted(event.depth for event in events) == sorted(
+            base * 100 + step for base in range(4) for step in range(50)
+        )
+
+    def test_tail_follows_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = EventLogWriter(path)
+        writer(QueueDepth(depth=1, time=0.0))
+        reader = EventLogReader(path)
+        seen = []
+
+        def consume():
+            for event in reader.tail(poll_interval=0.01, stop=lambda: len(seen) >= 2):
+                seen.append(event)
+                if len(seen) >= 2:
+                    break
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        writer(QueueDepth(depth=2, time=1.0))
+        thread.join(timeout=5)
+        writer.close()
+        assert not thread.is_alive()
+        assert [event.depth for event in seen] == [1, 2]

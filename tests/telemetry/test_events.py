@@ -1,0 +1,119 @@
+"""Schema tests: every event kind serialises losslessly and versioned."""
+
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    BatchDispatched,
+    IterationAdvanced,
+    PlanCacheLookup,
+    QueueDepth,
+    RequestAdmitted,
+    RequestArrived,
+    RequestCancelled,
+    RequestRetired,
+    RunFinished,
+    RunStarted,
+    ShardOccupancy,
+    from_record,
+    to_record,
+)
+
+EXAMPLES = [
+    RunStarted(
+        engine="continuous",
+        backend="analytical",
+        num_shards=2,
+        max_batch_size=8,
+        num_requests=32,
+        mode="continuous",
+        policy="sjf",
+        iteration_rows=128,
+    ),
+    RequestArrived(request_id=7, seq_len=256, head_rows=512, arrival_time=0.125),
+    RequestAdmitted(request_id=7, shard=1, admit_time=0.25, residency=3),
+    RequestRetired(
+        request_id=7,
+        shard=1,
+        batch_id=4,
+        batch_size=3,
+        device_seconds=0.0625,
+        arrival_time=0.125,
+        admit_time=0.25,
+        finish_time=0.5,
+    ),
+    RequestCancelled(request_id=9, time=0.375),
+    BatchDispatched(
+        batch_id=2,
+        shard=0,
+        size=4,
+        total_rows=1024,
+        device_seconds=0.5,
+        energy_joules=1e-3,
+        head_rows=1024,
+    ),
+    IterationAdvanced(
+        index=11,
+        shard=1,
+        start_seconds=0.25,
+        seconds=0.125,
+        cycles=12345,
+        energy_joules=2e-4,
+        gate_rows=64,
+        primed=True,
+        num_resident=5,
+        occupancy=0.625,
+    ),
+    ShardOccupancy(shard=0, residents=5, slots=8, occupancy=0.625, time=0.25),
+    QueueDepth(depth=12, time=0.25),
+    PlanCacheLookup(seq_len=256, hit=True, entries=3),
+    RunFinished(wall_seconds=1.5, stats={"backend": "analytical", "num_requests": 32}),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", EXAMPLES, ids=lambda event: event.kind)
+    def test_to_from_record_is_identity(self, event):
+        record = to_record(event)
+        assert record["v"] == SCHEMA_VERSION
+        assert record["kind"] == event.kind
+        assert from_record(record) == event
+
+    def test_every_kind_is_registered(self):
+        assert {event.kind for event in EXAMPLES} == set(EVENT_TYPES)
+
+    def test_float_fields_round_trip_bit_exactly(self):
+        import json
+
+        value = 0.1 + 0.2  # not exactly representable in decimal
+        event = QueueDepth(depth=1, time=value)
+        restored = from_record(json.loads(json.dumps(to_record(event))))
+        assert restored.time == value  # bit-identical, not approx
+
+    def test_none_cycles_survive(self):
+        event = IterationAdvanced(
+            index=0,
+            shard=0,
+            start_seconds=0.0,
+            seconds=1.0,
+            cycles=None,
+            energy_joules=0.0,
+            gate_rows=1,
+            primed=False,
+            num_resident=1,
+            occupancy=0.5,
+        )
+        assert from_record(to_record(event)).cycles is None
+
+
+class TestValidation:
+    def test_wrong_schema_version_rejected(self):
+        record = to_record(QueueDepth(depth=1, time=0.0))
+        record["v"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            from_record(record)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            from_record({"v": SCHEMA_VERSION, "kind": "mystery"})
