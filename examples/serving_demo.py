@@ -4,14 +4,17 @@ Programmatic tour of :mod:`repro.serving`: build a mixed-shape request set,
 serve it through a batched 4-shard pool of cycle-accurate simulators, verify
 one served output against the dense reference, compare the pool's
 requests/sec (and head-rows/sec) against sequential single-shard dispatch,
-then replay a seeded Poisson arrival trace through the continuous-batching
+then replay a seeded arrival trace through the continuous-batching
 scheduler to show what mid-flight admission buys over drain batching.
 
 Run with ``python examples/serving_demo.py`` — or use the installed
 ``repro-serve`` console script for the configurable CLI variant
 (``repro-serve --mode continuous --compare`` for the continuous half).
-Pass ``--events trace.jsonl`` to stream the continuous run's telemetry to a
-JSONL event log, then inspect it with ``repro-trace``.
+``--trace diurnal`` swaps the flat Poisson arrivals for a rate-modulated
+day-night cycle (``bursty`` clusters them).  Pass ``--events trace.jsonl``
+to stream the continuous comparison's telemetry to a JSONL event log —
+both runs land in one file (continuous as ``run_id`` 0, drain as 1) — then
+inspect it with ``repro-trace``.
 """
 
 import argparse
@@ -23,7 +26,9 @@ from repro.core.config import SWATConfig
 from repro.serving import (
     PlanCache,
     ServingEngine,
+    bursty_arrivals,
     compare_modes,
+    diurnal_arrivals,
     make_requests,
     poisson_arrivals,
     swat_request_rate,
@@ -37,7 +42,15 @@ def main(argv=None) -> None:
         "--events",
         metavar="PATH",
         default=None,
-        help="stream the continuous run's telemetry to a JSONL event log",
+        help="stream the continuous comparison's telemetry (both runs) to a "
+        "JSONL event log",
+    )
+    parser.add_argument(
+        "--trace",
+        default="poisson",
+        choices=("poisson", "diurnal", "bursty"),
+        help="seeded arrival process for the continuous comparison "
+        "(default: poisson)",
     )
     args = parser.parse_args(argv)
     bus = writer = None
@@ -46,7 +59,7 @@ def main(argv=None) -> None:
         writer = EventLogWriter(args.events)
         bus.subscribe(writer)
     try:
-        _run(bus)
+        _run(bus, trace=args.trace)
     finally:
         if writer is not None:
             writer.close()
@@ -55,12 +68,12 @@ def main(argv=None) -> None:
             f"\nwrote {writer.events_written} telemetry events to {args.events}; "
             "inspect them with:\n"
             f"  repro-trace summarize {args.events}\n"
-            f"  repro-trace replay {args.events} --strict\n"
+            f"  repro-trace replay {args.events} --run-id 0 --strict\n"
             f"  repro-trace watch {args.events} --once --plain"
         )
 
 
-def _run(bus=None) -> None:
+def _run(bus=None, trace="poisson") -> None:
     # A scaled-down SWAT instance served by a pool of four shards.
     config = SWATConfig.longformer(window_tokens=64)
     print(f"SWAT configuration: {config.describe()}")
@@ -104,24 +117,31 @@ def _run(bus=None) -> None:
         f"vs sequential {sequential.stats.head_rows_per_second:.3g}"
     )
 
-    # Continuous batching: a seeded Poisson trace of mixed lengths at 4x the
+    # Continuous batching: a seeded arrival trace of mixed lengths at 4x the
     # pool's saturation rate, served with mid-flight admission/retirement and
     # with drain admission on the same simulated clock.  Short requests no
     # longer wait for the batch's slowest member, so the slots stay full.
     trace_lens = [256, 256, 512, 1024] * 8
     rate = 4.0 * swat_request_rate(config, trace_lens, max_batch_size=8)
-    trace = make_requests(
-        trace_lens,
-        config.head_dim,
-        functional=False,
-        arrival_times=poisson_arrivals(len(trace_lens), rate, seed=0),
+    if trace == "diurnal":
+        arrivals = diurnal_arrivals(
+            len(trace_lens), rate, period=len(trace_lens) / rate / 4.0, seed=0
+        )
+    elif trace == "bursty":
+        arrivals = bursty_arrivals(
+            len(trace_lens), burst_size=4, burst_gap=4.0 / rate, seed=0
+        )
+    else:
+        arrivals = poisson_arrivals(len(trace_lens), rate, seed=0)
+    requests_trace = make_requests(
+        trace_lens, config.head_dim, functional=False, arrival_times=arrivals
     )
     comparison = compare_modes(
-        trace, config=config, max_batch_size=8, iteration_rows=128, bus=bus
+        requests_trace, config=config, max_batch_size=8, iteration_rows=128, bus=bus
     )
     continuous, drain = comparison.continuous.stats, comparison.drain.stats
     print(
-        f"\ncontinuous batching on a Poisson x4 trace: "
+        f"\ncontinuous batching on a {trace} x4 trace: "
         f"{continuous.requests_per_second:.0f} req/s "
         f"(occupancy {continuous.mean_occupancy:.0%}, "
         f"latency p95 {continuous.latency_p95_seconds * 1e3:.2f} ms) vs drain "

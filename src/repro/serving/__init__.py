@@ -21,12 +21,14 @@ from repro.serving.batcher import DynamicBatcher, seq_len_bucket
 from repro.serving.cache import CachedPlan, PlanCache, config_fingerprint
 from repro.serving.continuous import (
     QUEUE_POLICIES,
+    SCHEDULERS,
     ContinuousBatcher,
     IterationRecord,
     ScenarioComparison,
     ServingClock,
     bursty_arrivals,
     compare_modes,
+    diurnal_arrivals,
     poisson_arrivals,
     serve_continuous,
     swat_request_rate,
@@ -56,11 +58,13 @@ __all__ = [
     "config_fingerprint",
     "ContinuousBatcher",
     "QUEUE_POLICIES",
+    "SCHEDULERS",
     "IterationRecord",
     "ScenarioComparison",
     "ServingClock",
     "bursty_arrivals",
     "compare_modes",
+    "diurnal_arrivals",
     "poisson_arrivals",
     "serve_continuous",
     "swat_request_rate",

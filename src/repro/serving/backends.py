@@ -88,6 +88,7 @@ from repro.serving.request import AttentionRequest, ForwardRequest
 __all__ = [
     "BackendResult",
     "StepCost",
+    "StepBurst",
     "AttentionBackend",
     "BackendRegistry",
     "REGISTRY",
@@ -161,6 +162,41 @@ class StepCost:
     cycles: "int | None"
     energy_joules: float
     gate_rows: int = 0
+
+
+@dataclass(frozen=True)
+class StepBurst:
+    """Prices of a *burst* of consecutive iterations over fixed residents.
+
+    Between two scheduling events (an admission, a retirement, another shard
+    activating) the resident set of a shard is constant, so every iteration
+    of the burst advances the same slices — the whole burst is a closed-form
+    function of the residents' remaining rows.
+    :meth:`AttentionBackend.step_burst` prices all of them in one call; the
+    arrays hold one entry per iteration, in order, each entry bit-identical
+    to what the corresponding :meth:`~AttentionBackend.step` call would have
+    returned.
+
+    Attributes
+    ----------
+    seconds, energy_joules:
+        Per-iteration device time and energy (``float64`` arrays).
+    cycles:
+        Per-iteration cycle counts (``int64`` array) when the backend has a
+        cycle-accurate clock domain, else ``None``.
+    gate_rows:
+        Per-iteration rows of the gating slice (``int64`` array).
+    iterations:
+        Burst length: iterations until the resident with the fewest
+        remaining rows retires.  The scheduler may consume a prefix when an
+        admission or another shard's activation cuts the burst short.
+    """
+
+    seconds: "np.ndarray"
+    cycles: "np.ndarray | None"
+    energy_joules: "np.ndarray"
+    gate_rows: "np.ndarray"
+    iterations: int
 
 
 class AttentionBackend(ABC):
@@ -288,6 +324,62 @@ class AttentionBackend(ABC):
         raise NotImplementedError(
             f"backend {self.name!r} has no modelled per-iteration clock "
             f"(supports_continuous={self.supports_continuous})"
+        )
+
+    def step_burst(
+        self,
+        slices: "list[tuple[AttentionRequest, int, int]]",
+        primed: bool,
+        iteration_rows: int,
+    ) -> StepBurst:
+        """Price every iteration until the first resident retires, in one call.
+
+        ``slices`` holds ``(request, rows_done, remaining_rows)`` per
+        resident — note the third element is the rows *left to stream*, not
+        one iteration's slice: the burst derives each iteration's slices
+        itself (``min(iteration_rows, remaining)``, shrinking only on the
+        final iteration).  ``primed`` applies to the first iteration; later
+        iterations of a burst are primed by construction (the shard streamed
+        in the immediately preceding iteration).
+
+        The default implementation loops :meth:`step` once per iteration —
+        bit-identical to the quantum-stepped scheduler by definition.
+        Vectorized backends override it with closed-form array pricing that
+        reproduces the same bits without the Python loop.
+        """
+        if not slices:
+            raise ValueError("a burst needs at least one resident slice")
+        remaining = [rows_left for _, _, rows_left in slices]
+        if min(remaining) <= 0:
+            raise ValueError(f"remaining rows must be positive, got {min(remaining)}")
+        iterations = -(-min(remaining) // iteration_rows)
+        seconds = np.empty(iterations)
+        energy = np.empty(iterations)
+        gate_rows = np.empty(iterations, dtype=np.int64)
+        cycles = np.empty(iterations, dtype=np.int64)
+        has_cycles = True
+        for index in range(iterations):
+            advanced = index * iteration_rows
+            cost = self.step(
+                [
+                    (request, rows_done + advanced, min(iteration_rows, rows_left - advanced))
+                    for request, rows_done, rows_left in slices
+                ],
+                primed if index == 0 else True,
+            )
+            seconds[index] = cost.seconds
+            energy[index] = cost.energy_joules
+            gate_rows[index] = cost.gate_rows
+            if cost.cycles is None:
+                has_cycles = False
+            else:
+                cycles[index] = cost.cycles
+        return StepBurst(
+            seconds=seconds,
+            cycles=cycles if has_cycles else None,
+            energy_joules=energy,
+            gate_rows=gate_rows,
+            iterations=iterations,
         )
 
     def compute_outputs(self, batch: "list[AttentionRequest]") -> "tuple[np.ndarray | None, ...]":
@@ -450,27 +542,49 @@ class _SWATBackendBase(AttentionBackend):
             # recompiling even when no pool-wide cache was supplied.
             self.plan_cache = PlanCache()
         self.simulator = SWATSimulator(self.config, plan_cache=self.plan_cache)
+        # Hot-loop constants of the step clock, resolved once: the continuous
+        # scheduler prices millions of iterations through these, and the
+        # attribute chains (pipeline model, power breakdown) are pure
+        # functions of the frozen config.
+        self._initiation_interval = self.simulator.pipeline.initiation_interval
+        self._clock_period_s = self.config.clock_period_s
+        self._total_power_w = self.simulator.power_model.total_power_w
+
+    def _stream_cycles(self, rows: int, primed: bool) -> int:
+        """The one SWAT clock primitive every timing path prices through.
+
+        ``rows`` gating rows streamed serially on the most-loaded pipeline
+        replica: a cold stream pays the fill
+        (:meth:`~repro.core.pipeline.SWATPipelineModel.cycles_for_rows`,
+        ``depth + (rows - 1) * II``), a primed one runs at ``rows * II``.
+        Both the drain engine's whole-dispatch pricing and the continuous
+        engine's per-iteration :meth:`step` reduce to this function — one
+        device model, two schedulers.
+        """
+        if rows <= 0:
+            return 0
+        if primed:
+            return rows * self._initiation_interval
+        return self.simulator.pipeline.cycles_for_rows(rows)
 
     def _batch_timing(self, batch: "list[AttentionRequest]") -> "tuple[int, float, float]":
-        """Cycles/seconds/energy of a drained dispatch.
+        """Cycles/seconds/energy of a drained dispatch, on the step clock.
 
-        Attention requests stream back to back (one fill for the whole
-        dispatch); each whole-model forward prices off its compiled
+        A drained dispatch is one cold stream: its attention requests' rows
+        (heads spread across the replicated pipelines, exactly
+        :meth:`request_rows`) run back to back with a single fill —
+        ``_stream_cycles(total_rows, primed=False)``, bit-identical to the
+        ``batch_attention_cycles`` formula this path used to price through.
+        Each whole-model forward prices off its compiled
         :class:`~repro.model.plan.ModelPlan` — per-layer pipelines, fills at
         geometry switches, per-layer power hooks.
         """
         attentions, forwards = split_batch(batch)
-        attention_cycles = (
-            swat_batch_cycles(
-                self.simulator.pipeline, [request for _, request in attentions]
-            )
-            if attentions
-            else 0
+        cycles = self._stream_cycles(
+            sum(self.request_rows(request) for _, request in attentions), primed=False
         )
-        attention_seconds = attention_cycles * self.config.clock_period_s
-        energy = self.simulator.power_model.total_power_w * attention_seconds
-        cycles = attention_cycles
-        seconds = attention_seconds
+        seconds = cycles * self._clock_period_s
+        energy = self._total_power_w * seconds
         for _, request in forwards:
             plan = self.model_plan(request)
             cycles += plan.total_cycles
@@ -540,7 +654,6 @@ class _SWATBackendBase(AttentionBackend):
         """
         if not slices:
             raise ValueError("an iteration needs at least one resident slice")
-        pipeline = self.simulator.pipeline
         cycles = 0
         gate_rows = 0
         for request, rows_done, rows in slices:
@@ -550,19 +663,60 @@ class _SWATBackendBase(AttentionBackend):
                 slice_cycles = self.model_plan(request).span_cycles(
                     rows_done, rows_done + rows, primed
                 )
-            elif primed:
-                slice_cycles = rows * pipeline.initiation_interval
             else:
-                slice_cycles = pipeline.cycles_for_rows(rows)
+                slice_cycles = self._stream_cycles(rows, primed)
             if slice_cycles > cycles:
                 cycles = slice_cycles
                 gate_rows = rows
-        seconds = cycles * self.config.clock_period_s
+        seconds = cycles * self._clock_period_s
         return StepCost(
             seconds=seconds,
             cycles=cycles,
-            energy_joules=self.simulator.power_model.total_power_w * seconds,
+            energy_joules=self._total_power_w * seconds,
             gate_rows=gate_rows,
+        )
+
+    def step_burst(
+        self,
+        slices: "list[tuple[AttentionRequest, int, int]]",
+        primed: bool,
+        iteration_rows: int,
+    ) -> StepBurst:
+        """Closed-form SWAT burst: the pipeline streams one row per II.
+
+        With the resident set fixed, every iteration before the last
+        advances exactly ``iteration_rows`` gating rows, so the burst is
+        ``[fill-or-primed first, (K - 2) primed full slices, one primed
+        remainder]`` — a handful of array ops instead of ``K`` Python-loop
+        ``step`` calls, bit-identical entry for entry.  Whole-model forwards
+        are priced positionally (their layers' own pipelines), which has no
+        closed form here — a burst containing one falls back to the looped
+        default.
+        """
+        if any(isinstance(request, ForwardRequest) for request, _, _ in slices):
+            return super().step_burst(slices, primed, iteration_rows)
+        if not slices:
+            raise ValueError("a burst needs at least one resident slice")
+        min_remaining = min(rows_left for _, _, rows_left in slices)
+        if min_remaining <= 0:
+            raise ValueError(f"remaining rows must be positive, got {min_remaining}")
+        iterations = -(-min_remaining // iteration_rows)
+        streamed = (iterations - 1) * iteration_rows
+        last_rows = max(
+            min(iteration_rows, rows_left - streamed) for _, _, rows_left in slices
+        )
+        gate_rows = np.full(iterations, iteration_rows, dtype=np.int64)
+        gate_rows[-1] = last_rows
+        cycles = gate_rows * self._initiation_interval
+        if not primed:
+            cycles[0] = self.simulator.pipeline.cycles_for_rows(int(gate_rows[0]))
+        seconds = cycles * self._clock_period_s
+        return StepBurst(
+            seconds=seconds,
+            cycles=cycles,
+            energy_joules=self._total_power_w * seconds,
+            gate_rows=gate_rows,
+            iterations=iterations,
         )
 
 
@@ -812,6 +966,63 @@ class _GPUBackendBase(AttentionBackend):
             seconds=gate_seconds, cycles=None, energy_joules=energy, gate_rows=gate_rows
         )
 
+    def step_burst(
+        self,
+        slices: "list[tuple[AttentionRequest, int, int]]",
+        primed: bool,
+        iteration_rows: int,
+    ) -> StepBurst:
+        """Closed-form GPU burst off the residents' per-row rates.
+
+        Every iteration before the last advances ``iteration_rows`` rows per
+        resident at its memoised per-row rate, so mid-burst iterations are
+        literally identical — priced once and broadcast.  Rates are
+        non-positional (a forward's report already folds all its layers), so
+        forwards vectorize here too.
+        """
+        del primed  # launch cost is embedded in the per-shape rate
+        if not slices:
+            raise ValueError("a burst needs at least one resident slice")
+        remaining = np.array([rows_left for _, _, rows_left in slices], dtype=np.int64)
+        if int(remaining.min()) <= 0:
+            raise ValueError(f"remaining rows must be positive, got {int(remaining.min())}")
+        iterations = -(-int(remaining.min()) // iteration_rows)
+        reports = [
+            self._shape_report(request.seq_len, request.head_rows // request.seq_len)
+            for request, _, _ in slices
+        ]
+        rate_seconds = np.array([report.seconds for report in reports])
+        rate_energy = np.array([report.energy_joules for report in reports])
+        totals = np.array([self.request_rows(request) for request, _, _ in slices], dtype=np.int64)
+
+        def price(rows):
+            # Reference op order per slice: multiply by rows, then divide.
+            slice_seconds = rate_seconds * rows / totals
+            gate = int(np.argmax(slice_seconds))
+            # The reference sums slice energies sequentially from 0.0.
+            energy = float(np.cumsum(rate_energy * rows / totals)[-1])
+            return float(slice_seconds[gate]), gate, energy
+
+        seconds = np.empty(iterations)
+        energy = np.empty(iterations)
+        gate_rows = np.full(iterations, iteration_rows, dtype=np.int64)
+        if iterations > 1:
+            mid_seconds, _, mid_energy = price(iteration_rows)
+            seconds[:-1] = mid_seconds
+            energy[:-1] = mid_energy
+        last_rows = np.minimum(iteration_rows, remaining - (iterations - 1) * iteration_rows)
+        last_seconds, last_gate, last_energy = price(last_rows)
+        seconds[-1] = last_seconds
+        energy[-1] = last_energy
+        gate_rows[-1] = int(last_rows[last_gate])
+        return StepBurst(
+            seconds=seconds,
+            cycles=None,
+            energy_joules=energy,
+            gate_rows=gate_rows,
+            iterations=iterations,
+        )
+
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         seconds = 0.0
         energy = 0.0
@@ -944,6 +1155,47 @@ class DenseFPGABackend(AttentionBackend):
             cycles=None,
             energy_joules=self.power_model.total_power_w * gate_seconds,
             gate_rows=gate_rows,
+        )
+
+    def step_burst(
+        self,
+        slices: "list[tuple[AttentionRequest, int, int]]",
+        primed: bool,
+        iteration_rows: int,
+    ) -> StepBurst:
+        """Closed-form dense-baseline burst (per-row rates, no fill state)."""
+        del primed
+        if not slices:
+            raise ValueError("a burst needs at least one resident slice")
+        remaining = np.array([rows_left for _, _, rows_left in slices], dtype=np.int64)
+        if int(remaining.min()) <= 0:
+            raise ValueError(f"remaining rows must be positive, got {int(remaining.min())}")
+        iterations = -(-int(remaining.min()) // iteration_rows)
+        base_cycles = np.array(
+            [self._request_cycles(request) for request, _, _ in slices], dtype=np.int64
+        )
+        totals = np.array([self.request_rows(request) for request, _, _ in slices], dtype=np.int64)
+
+        def price(rows):
+            # Reference op order: (cycles * period) * rows, then divide.
+            slice_seconds = base_cycles * self.config.clock_period_s * rows / totals
+            gate = int(np.argmax(slice_seconds))
+            return float(slice_seconds[gate]), gate
+
+        seconds = np.empty(iterations)
+        gate_rows = np.full(iterations, iteration_rows, dtype=np.int64)
+        if iterations > 1:
+            seconds[:-1] = price(iteration_rows)[0]
+        last_rows = np.minimum(iteration_rows, remaining - (iterations - 1) * iteration_rows)
+        last_seconds, last_gate = price(last_rows)
+        seconds[-1] = last_seconds
+        gate_rows[-1] = int(last_rows[last_gate])
+        return StepBurst(
+            seconds=seconds,
+            cycles=None,
+            energy_joules=self.power_model.total_power_w * seconds,
+            gate_rows=gate_rows,
+            iterations=iterations,
         )
 
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:

@@ -58,10 +58,13 @@ class DynamicBatcher:
     :class:`~repro.telemetry.events.QueueDepth` event (plus
     :class:`~repro.telemetry.events.RequestCancelled` for withdrawals);
     ``clock`` is a zero-argument callable stamping those events — the engine
-    passes its run-relative wall clock, the default stamps 0.0.
+    passes its run-relative wall clock, the default stamps 0.0.  ``run_id``
+    tags the events for multi-run logs.
     """
 
-    def __init__(self, config: SWATConfig, max_batch_size: int = 8, bus=None, clock=None):
+    def __init__(
+        self, config: SWATConfig, max_batch_size: int = 8, bus=None, clock=None, run_id: int = 0
+    ):
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         self.config = config
@@ -71,6 +74,7 @@ class DynamicBatcher:
         self._batch_ids = count()
         self._bus = bus if bus is not None else NULL_BUS
         self._clock = clock if clock is not None else (lambda: 0.0)
+        self._run_id = run_id
 
     def batch_key(self, request: AttentionRequest) -> "tuple[object, ...]":
         """Grouping key: (config fingerprint, seq-len bucket).
@@ -95,10 +99,14 @@ class DynamicBatcher:
         if len(bucket) >= self.max_batch_size:
             del self._pending[key]
             if self._bus.active:
-                self._bus.emit(QueueDepth(depth=self.pending_count, time=self._clock()))
+                self._bus.emit(
+                    QueueDepth(depth=self.pending_count, time=self._clock(), run_id=self._run_id)
+                )
             return Batch(batch_id=next(self._batch_ids), key=key, requests=bucket)
         if self._bus.active:
-            self._bus.emit(QueueDepth(depth=self.pending_count, time=self._clock()))
+            self._bus.emit(
+                QueueDepth(depth=self.pending_count, time=self._clock(), run_id=self._run_id)
+            )
         return None
 
     def cancel(self, request_id: int) -> bool:
@@ -117,8 +125,12 @@ class DynamicBatcher:
                         del self._pending[key]
                     if self._bus.active:
                         now = self._clock()
-                        self._bus.emit(RequestCancelled(request_id=request_id, time=now))
-                        self._bus.emit(QueueDepth(depth=self.pending_count, time=now))
+                        self._bus.emit(
+                            RequestCancelled(request_id=request_id, time=now, run_id=self._run_id)
+                        )
+                        self._bus.emit(
+                            QueueDepth(depth=self.pending_count, time=now, run_id=self._run_id)
+                        )
                     return True
         return False
 
@@ -134,5 +146,5 @@ class DynamicBatcher:
         ]
         self._pending.clear()
         if self._bus.active and batches:
-            self._bus.emit(QueueDepth(depth=0, time=self._clock()))
+            self._bus.emit(QueueDepth(depth=0, time=self._clock(), run_id=self._run_id))
         return batches

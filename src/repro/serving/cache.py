@@ -83,15 +83,18 @@ class PlanCache:
     ``bus`` (an :class:`~repro.telemetry.bus.EventBus`) makes every lookup
     emit a :class:`~repro.telemetry.events.PlanCacheLookup` event — outside
     the lock, so instrumentation never extends the critical section.
+    ``run_id`` stamps those events, so a multi-run log (one cache per run)
+    attributes lookups to the right run.
     """
 
-    def __init__(self, max_entries: int = 64, bus=None):
+    def __init__(self, max_entries: int = 64, bus=None, run_id: int = 0):
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
         self._lock = threading.Lock()
         self._bus = bus if bus is not None else NULL_BUS
+        self._run_id = run_id
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -128,10 +131,14 @@ class PlanCache:
             size = len(self._entries)
         if entry is not None:
             if self._bus.active:
-                self._bus.emit(PlanCacheLookup(seq_len=seq_len, hit=True, entries=size))
+                self._bus.emit(
+                    PlanCacheLookup(seq_len=seq_len, hit=True, entries=size, run_id=self._run_id)
+                )
             return entry
         if self._bus.active:
-            self._bus.emit(PlanCacheLookup(seq_len=seq_len, hit=False, entries=size))
+            self._bus.emit(
+                PlanCacheLookup(seq_len=seq_len, hit=False, entries=size, run_id=self._run_id)
+            )
         # Compile outside the lock: plan compilation is the expensive part
         # and concurrent workers must not serialise on it.  A racing double
         # build is benign (both results are identical); last write wins.

@@ -23,23 +23,43 @@ bit-exactly to what
 for the same gating rows streamed as one drained batch — partial fills are
 charged to the timing model honestly, never once per drain.
 
-Note the contrast with the drain engine's clock: a drained dispatch streams
-its requests' rows *serially* through one pipeline
-(``batch_attention_cycles``), whereas the continuous clock models the stacked
-batch axis as ``max_batch_size`` parallel streams.  The scenario runner
-therefore prices **both** admission policies with the same iteration clock
-(:func:`compare_modes`), so any speedup it reports is pure scheduling-policy
-gain — slots refilled mid-flight versus slots held until the slowest member
-retires — not a change of device model.
+Since the one-clock unification the drain engine prices its dispatches
+through the *same* primitive (a drained dispatch is one cold stream,
+``_stream_cycles(total_rows, primed=False)``), so drain-vs-continuous
+numbers compare scheduling policies on one device model.
+
+Schedulers
+----------
+Two scheduler implementations produce bit-identical results
+(property-tested; ``scheduler=`` selects one):
+
+``"event"`` (default)
+    Event-driven and vectorized.  A heap over per-shard activation times
+    replaces the linear scan, and between two scheduling events (an
+    admission becoming possible, a retirement, another shard activating
+    first) the resident set is fixed — the backend prices that whole *burst*
+    of iterations in one closed-form
+    :meth:`~repro.serving.backends.AttentionBackend.step_burst` call, and
+    the loop folds it into the accounting with sequential ``cumsum``\\ s that
+    reproduce the per-iteration float additions bit for bit.  Cost scales
+    with scheduling *events*, not iterations: a 100k-request diurnal trace
+    replays in seconds.
+
+``"reference"``
+    The retained quantum-stepped loop: one Python iteration per priced
+    device iteration.  The executable specification the property tests pin
+    the event scheduler against.
 
 Clock
 -----
 Everything runs on a deterministic simulated clock (:class:`ServingClock`):
 request ``arrival_time``\\ s come from seeded generators
-(:func:`poisson_arrivals`, :func:`bursty_arrivals`), shards advance
-event-driven (the shard with the earliest activation time runs its next
-iteration), and no scheduling decision reads the host clock — the same seed
-replays the same trace, iteration for iteration.
+(:func:`~repro.serving.request.poisson_arrivals`,
+:func:`~repro.serving.request.bursty_arrivals`,
+:func:`~repro.serving.request.diurnal_arrivals`), shards advance
+event-driven (the shard with the earliest activation time runs next), and no
+scheduling decision reads the host clock — the same seed replays the same
+trace, iteration for iteration.
 
 Functional outputs are computed at retirement through the backend's stacked
 :meth:`~repro.serving.backends.AttentionBackend.compute_outputs` pass, so
@@ -49,9 +69,11 @@ request alone (the stacked executor's contract).
 
 from __future__ import annotations
 
+import heapq
 import time
-from collections import deque
+from collections import Counter
 from dataclasses import dataclass
+from fractions import Fraction
 from math import ceil
 from statistics import mean
 
@@ -62,7 +84,13 @@ from repro.core.pipeline import SWATPipelineModel
 from repro.serving.backends import REGISTRY, batch_head_rows, create_backend
 from repro.serving.cache import PlanCache
 from repro.serving.engine import ServingResult
-from repro.serving.request import AttentionRequest, CompletedRequest
+from repro.serving.request import (
+    AttentionRequest,
+    CompletedRequest,
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
 from repro.serving.stats import ServingStats, percentile
 from repro.telemetry.bus import NULL_BUS
 from repro.telemetry.events import (
@@ -82,9 +110,11 @@ __all__ = [
     "IterationRecord",
     "ContinuousBatcher",
     "QUEUE_POLICIES",
+    "SCHEDULERS",
     "serve_continuous",
     "poisson_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
     "swat_request_rate",
     "ScenarioComparison",
     "compare_modes",
@@ -96,6 +126,9 @@ ADMISSION_MODES = ("continuous", "drain")
 #: Queue-ordering policies deciding which arrived request a free slot admits.
 QUEUE_POLICIES = ("fcfs", "sjf")
 
+#: Scheduler implementations (bit-identical results; see module docstring).
+SCHEDULERS = ("event", "reference")
+
 #: Default rows a resident request advances per iteration.
 DEFAULT_ITERATION_ROWS = 128
 
@@ -106,7 +139,9 @@ class ServingClock:
     ``now`` is simulated seconds since the start of the run.  The clock only
     ever moves forward: :meth:`advance` adds a priced iteration (counted as
     busy time), :meth:`jump_to` skips idle gaps to the next arrival (not
-    counted as busy).
+    counted as busy).  The event scheduler writes ``now``/``busy_seconds``
+    directly from cumulative sums whose sequential accumulation reproduces
+    per-iteration :meth:`advance` calls bit for bit.
     """
 
     def __init__(self) -> None:
@@ -220,12 +255,16 @@ class ContinuousBatcher:
         self.num_shards = num_shards
         self.admission = admission
         self.policy = policy
+        from collections import deque
+
         self._waiting: "deque[AttentionRequest]" = deque()
         self.running: "list[list[InFlightRequest]]" = [[] for _ in range(num_shards)]
         self._admission_ids = 0
 
     def submit(self, requests: "list[AttentionRequest]") -> None:
         """Queue ``requests``; admission order is ``(arrival_time, submit order)``."""
+        from collections import deque
+
         ordered = sorted(
             list(self._waiting) + list(requests),
             key=lambda request: (request.arrival_time, request.request_id),
@@ -327,6 +366,71 @@ class ContinuousBatcher:
         return retired
 
 
+class _RunState:
+    """Mutable accounting one serve call's scheduler loop folds into."""
+
+    __slots__ = (
+        "shards",
+        "batcher",
+        "clocks",
+        "primed",
+        "rows_of",
+        "iteration_rows",
+        "max_batch_size",
+        "bus",
+        "run_id",
+        "record_iterations",
+        "records",
+        "occupancy_counts",
+        "num_iterations",
+        "completed",
+        "total_energy",
+    )
+
+    def __init__(
+        self,
+        shards,
+        batcher: ContinuousBatcher,
+        iteration_rows: int,
+        max_batch_size: int,
+        bus,
+        run_id: int,
+        record_iterations: bool,
+    ) -> None:
+        self.shards = shards
+        self.batcher = batcher
+        self.clocks = [ServingClock() for _ in range(batcher.num_shards)]
+        self.primed = [False] * batcher.num_shards
+        self.rows_of = shards[0].request_rows
+        self.iteration_rows = iteration_rows
+        self.max_batch_size = max_batch_size
+        self.bus = bus
+        self.run_id = run_id
+        self.record_iterations = record_iterations
+        self.records: "list[IterationRecord]" = []
+        #: occupancy value -> iteration count; the exact-rational mean over
+        #: this multiset equals ``statistics.mean`` over the expanded list.
+        self.occupancy_counts: "Counter[float]" = Counter()
+        self.num_iterations = 0
+        self.completed: "list[CompletedRequest]" = []
+        self.total_energy = 0.0
+
+
+def _occupancy_mean(counts: "Counter[float]") -> float:
+    """Exact-rational mean of an occupancy multiset.
+
+    ``statistics.mean`` sums exact ``Fraction`` conversions of its float
+    inputs and rounds once at the end; summing ``Fraction(value) * count``
+    per distinct value is the same exact rational, so the rounded float is
+    identical — without materialising one list entry per iteration.
+    """
+    total = sum(counts.values())
+    if not total:
+        return 0.0
+    exact = sum(Fraction(value) * count for value, count in counts.items())
+    return float(exact / total)
+
+
 def serve_continuous(
     requests: "list[AttentionRequest]",
     config: "SWATConfig | None" = None,
@@ -339,18 +443,29 @@ def serve_continuous(
     plan_cache: "PlanCache | None" = None,
     backends: "list | None" = None,
     bus=None,
+    scheduler: str = "event",
+    record_iterations: bool = True,
+    run_id: int = 0,
 ) -> ServingResult:
     """Serve ``requests`` through the iteration-level scheduler.
 
-    The deterministic simulated-clock loop: shards advance event-driven (the
-    one with the earliest activation instant runs its next iteration), each
-    iteration admits arrived requests under the ``admission`` policy, prices
-    one :meth:`~repro.serving.backends.AttentionBackend.step`, advances every
-    resident's slice and retires finished requests — whose functional outputs
-    are computed right there through the backend's stacked pass.  Whole-model
+    The deterministic simulated-clock engine: shards advance event-driven
+    (the one with the earliest activation instant runs next), each iteration
+    admits arrived requests under the ``admission`` policy, prices the
+    backend's :meth:`~repro.serving.backends.AttentionBackend.step` clock,
+    advances every resident's slice and retires finished requests — whose
+    functional outputs are computed right there through the backend's
+    stacked pass.  Whole-model
     :class:`~repro.serving.request.ForwardRequest`\\ s ride the same clock:
-    their slices advance along the compiled model's row axis (layer-iteration
-    granularity), priced positionally by the backend's ``step``.
+    their slices advance along the compiled model's row axis
+    (layer-iteration granularity), priced positionally by the backend.
+
+    ``scheduler`` selects the implementation: ``"event"`` (default) skips
+    ahead between scheduling events and prices whole iteration bursts with
+    one vectorized :meth:`~repro.serving.backends.AttentionBackend.step_burst`
+    call; ``"reference"`` steps one Python loop per iteration.  Both produce
+    bit-identical results (stats, records, completions and telemetry) — the
+    property tests pin them against each other.
 
     ``admission="drain"`` runs the same clock with static batching (a shard
     refills only once empty); it exists so the scenario comparison isolates
@@ -361,11 +476,16 @@ def serve_continuous(
     ``plan_cache`` for the cache counters to mean anything); by default one
     is created per shard.  ``bus`` (an
     :class:`~repro.telemetry.bus.EventBus`) streams the run's lifecycle,
-    iteration and occupancy events; with no bus (or no sinks) every emission
-    collapses to one branch.
+    iteration and occupancy events, all stamped with ``run_id`` (multi-run
+    logs replay one run at a time); with no bus (or no sinks) every emission
+    collapses to one branch.  ``record_iterations=False`` skips building the
+    per-iteration :class:`IterationRecord` tuple — stats are unchanged, and
+    large traces avoid materialising millions of records.
     """
     if iteration_rows <= 0:
         raise ValueError(f"iteration_rows must be positive, got {iteration_rows}")
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}")
     config = config if config is not None else SWATConfig()
     if not REGISTRY.backend_class(backend).supports_continuous:
         raise ValueError(
@@ -374,7 +494,7 @@ def serve_continuous(
         )
     bus = bus if bus is not None else NULL_BUS
     if plan_cache is None:
-        plan_cache = PlanCache(bus=bus) if bus.active else PlanCache()
+        plan_cache = PlanCache(bus=bus, run_id=run_id) if bus.active else PlanCache()
     start_wall = time.perf_counter()
     cache_before = plan_cache.counters()
     if backends is not None:
@@ -386,7 +506,6 @@ def serve_continuous(
             create_backend(backend, config=config, plan_cache=plan_cache)
             for _ in range(num_shards)
         ]
-    rows_of = shards[0].request_rows
 
     if bus.active:
         bus.emit(
@@ -399,6 +518,7 @@ def serve_continuous(
                 mode=admission,
                 policy=policy,
                 iteration_rows=iteration_rows,
+                run_id=run_id,
             )
         )
         for request in requests:
@@ -408,6 +528,7 @@ def serve_continuous(
                     seq_len=request.seq_len,
                     head_rows=request.head_rows,
                     arrival_time=request.arrival_time,
+                    run_id=run_id,
                 )
             )
 
@@ -415,121 +536,23 @@ def serve_continuous(
         max_batch_size, num_shards=num_shards, admission=admission, policy=policy
     )
     batcher.submit(list(requests))
-    clocks = [ServingClock() for _ in range(num_shards)]
-    primed = [False] * num_shards
-    records: "list[IterationRecord]" = []
-    completed: "list[CompletedRequest]" = []
-    total_energy = 0.0
-
-    while not batcher.done:
-        shard = _next_active_shard(batcher, clocks)
-        clock = clocks[shard]
-        if not batcher.running[shard]:
-            # Idle shard: skip forward to its next arrival (idle, not busy).
-            next_arrival = batcher.next_arrival_time()
-            if next_arrival is not None:
-                clock.jump_to(next_arrival)
-        admitted = batcher.admit(shard, clock.now, rows_of)
-        residents = batcher.running[shard]
-        if not residents:  # pragma: no cover - defensive; admit() always lands one
-            continue
-        if bus.active and admitted:
-            for inflight in admitted:
-                bus.emit(
-                    RequestAdmitted(
-                        request_id=inflight.request.request_id,
-                        shard=shard,
-                        admit_time=inflight.admit_time,
-                        residency=inflight.residency_at_admit,
-                    )
-                )
-            bus.emit(QueueDepth(depth=batcher.waiting_count, time=clock.now))
-        slices = batcher.slices(shard, iteration_rows)
-        cost = shards[shard].step(
-            [(inflight.request, inflight.rows_done, rows) for inflight, rows in slices],
-            primed[shard],
-        )
-        start = clock.now
-        clock.advance(cost.seconds)
-        total_energy += cost.energy_joules
-        for inflight, rows in slices:
-            inflight.rows_done += rows
-            inflight.device_seconds += cost.seconds
-        retired = batcher.retire_finished(shard, clock.now)
-        outputs = _retirement_outputs(shards[shard], retired)
-        for inflight, output in zip(retired, outputs):
-            completed.append(
-                CompletedRequest(
-                    request=inflight.request,
-                    output=output,
-                    shard=shard,
-                    batch_id=inflight.admission_id,
-                    batch_size=inflight.residency_at_admit,
-                    device_seconds=inflight.device_seconds,
-                    arrival_time=inflight.request.arrival_time,
-                    admit_time=inflight.admit_time,
-                    finish_time=inflight.finish_time,
-                )
-            )
-            if bus.active:
-                bus.emit(
-                    RequestRetired(
-                        request_id=inflight.request.request_id,
-                        shard=shard,
-                        batch_id=inflight.admission_id,
-                        batch_size=inflight.residency_at_admit,
-                        device_seconds=inflight.device_seconds,
-                        arrival_time=inflight.request.arrival_time,
-                        admit_time=inflight.admit_time,
-                        finish_time=inflight.finish_time,
-                    )
-                )
-        records.append(
-            IterationRecord(
-                index=len(records),
-                shard=shard,
-                start_seconds=start,
-                seconds=cost.seconds,
-                cycles=cost.cycles,
-                energy_joules=cost.energy_joules,
-                gate_rows=cost.gate_rows,
-                primed=primed[shard],
-                resident=tuple((inflight.request.request_id, rows) for inflight, rows in slices),
-                admitted=tuple(inflight.request.request_id for inflight in admitted),
-                retired=tuple(inflight.request.request_id for inflight in retired),
-                occupancy=len(slices) / max_batch_size,
-            )
-        )
-        if bus.active:
-            record = records[-1]
-            bus.emit(
-                IterationAdvanced(
-                    index=record.index,
-                    shard=shard,
-                    start_seconds=start,
-                    seconds=cost.seconds,
-                    cycles=cost.cycles,
-                    energy_joules=cost.energy_joules,
-                    gate_rows=cost.gate_rows,
-                    primed=record.primed,
-                    num_resident=len(slices),
-                    occupancy=record.occupancy,
-                )
-            )
-            bus.emit(
-                ShardOccupancy(
-                    shard=shard,
-                    residents=len(slices),
-                    slots=max_batch_size,
-                    occupancy=record.occupancy,
-                    time=start,
-                )
-            )
-        # The pipeline stays primed only while the shard keeps streaming.
-        primed[shard] = bool(batcher.running[shard])
+    state = _RunState(
+        shards=shards,
+        batcher=batcher,
+        iteration_rows=iteration_rows,
+        max_batch_size=max_batch_size,
+        bus=bus,
+        run_id=run_id,
+        record_iterations=record_iterations,
+    )
+    if scheduler == "event":
+        _event_loop(state)
+    else:
+        _reference_loop(state)
 
     wall_seconds = time.perf_counter() - start_wall
     cache_after = plan_cache.counters()
+    completed = state.completed
     position = {request.request_id: index for index, request in enumerate(requests)}
     completed.sort(key=lambda done: position[done.request.request_id])
     makespan = max((done.finish_time for done in completed), default=0.0)
@@ -538,32 +561,450 @@ def serve_continuous(
     stats = ServingStats(
         backend=backend,
         num_requests=len(requests),
-        num_batches=len(records),
+        num_batches=state.num_iterations,
         num_shards=num_shards,
         max_batch_size=max_batch_size,
         device_makespan_seconds=makespan,
-        shard_busy_seconds=tuple(clock.busy_seconds for clock in clocks),
-        total_energy_joules=total_energy,
+        shard_busy_seconds=tuple(clock.busy_seconds for clock in state.clocks),
+        total_energy_joules=state.total_energy,
         wall_seconds=wall_seconds,
         cache_hits=cache_after["hits"] - cache_before["hits"],
         cache_misses=cache_after["misses"] - cache_before["misses"],
         total_head_rows=batch_head_rows(list(requests)),
         mode=admission,
         policy=policy,
-        num_iterations=len(records),
-        mean_occupancy=mean(record.occupancy for record in records) if records else 0.0,
+        num_iterations=state.num_iterations,
+        mean_occupancy=_occupancy_mean(state.occupancy_counts),
         queue_p50_seconds=percentile(queue_waits, 50.0),
         queue_p95_seconds=percentile(queue_waits, 95.0),
         latency_p50_seconds=percentile(latencies, 50.0),
         latency_p95_seconds=percentile(latencies, 95.0),
     )
     if bus.active:
-        bus.emit(RunFinished(wall_seconds=wall_seconds, stats=stats.to_dict()))
+        bus.emit(RunFinished(wall_seconds=wall_seconds, stats=stats.to_dict(), run_id=run_id))
     return ServingResult(
         completed=completed,
         stats=stats,
         batches=(),
-        iterations=tuple(records),
+        iterations=tuple(state.records),
+    )
+
+
+def _reference_loop(state: _RunState) -> None:
+    """The quantum-stepped scheduler: one Python loop per priced iteration.
+
+    The executable specification of the continuous engine — the event
+    scheduler below must reproduce its every accounting bit.  Each loop
+    iteration picks the earliest-activating shard by linear scan, admits,
+    prices one :meth:`~repro.serving.backends.AttentionBackend.step`,
+    advances residents and retires the finished.
+    """
+    batcher = state.batcher
+    bus = state.bus
+    while not batcher.done:
+        shard = _next_active_shard(batcher, state.clocks)
+        clock = state.clocks[shard]
+        if not batcher.running[shard]:
+            # Idle shard: skip forward to its next arrival (idle, not busy).
+            next_arrival = batcher.next_arrival_time()
+            if next_arrival is not None:
+                clock.jump_to(next_arrival)
+        admitted = batcher.admit(shard, clock.now, state.rows_of)
+        residents = batcher.running[shard]
+        if not residents:  # pragma: no cover - defensive; admit() always lands one
+            continue
+        if bus.active and admitted:
+            _emit_admissions(state, shard, admitted, batcher.waiting_count, clock.now)
+        slices = batcher.slices(shard, state.iteration_rows)
+        cost = state.shards[shard].step(
+            [(inflight.request, inflight.rows_done, rows) for inflight, rows in slices],
+            state.primed[shard],
+        )
+        start = clock.now
+        clock.advance(cost.seconds)
+        state.total_energy += cost.energy_joules
+        for inflight, rows in slices:
+            inflight.rows_done += rows
+            inflight.device_seconds += cost.seconds
+        retired = batcher.retire_finished(shard, clock.now)
+        outputs = _retirement_outputs(state.shards[shard], retired)
+        for inflight, output in zip(retired, outputs):
+            state.completed.append(_completion(inflight, output))
+            if bus.active:
+                bus.emit(_retired_event(inflight, run_id=state.run_id))
+        index = state.num_iterations
+        state.num_iterations += 1
+        occupancy = len(slices) / state.max_batch_size
+        state.occupancy_counts[occupancy] += 1
+        was_primed = state.primed[shard]
+        if state.record_iterations:
+            state.records.append(
+                IterationRecord(
+                    index=index,
+                    shard=shard,
+                    start_seconds=start,
+                    seconds=cost.seconds,
+                    cycles=cost.cycles,
+                    energy_joules=cost.energy_joules,
+                    gate_rows=cost.gate_rows,
+                    primed=was_primed,
+                    resident=tuple(
+                        (inflight.request.request_id, rows) for inflight, rows in slices
+                    ),
+                    admitted=tuple(inflight.request.request_id for inflight in admitted),
+                    retired=tuple(inflight.request.request_id for inflight in retired),
+                    occupancy=occupancy,
+                )
+            )
+        if bus.active:
+            bus.emit(
+                IterationAdvanced(
+                    index=index,
+                    shard=shard,
+                    start_seconds=start,
+                    seconds=cost.seconds,
+                    cycles=cost.cycles,
+                    energy_joules=cost.energy_joules,
+                    gate_rows=cost.gate_rows,
+                    primed=was_primed,
+                    num_resident=len(slices),
+                    occupancy=occupancy,
+                    run_id=state.run_id,
+                )
+            )
+            bus.emit(
+                ShardOccupancy(
+                    shard=shard,
+                    residents=len(slices),
+                    slots=state.max_batch_size,
+                    occupancy=occupancy,
+                    time=start,
+                    run_id=state.run_id,
+                )
+            )
+        # The pipeline stays primed only while the shard keeps streaming.
+        state.primed[shard] = bool(batcher.running[shard])
+
+
+def _event_loop(state: _RunState) -> None:
+    """The event-driven scheduler: skip ahead, price iteration bursts.
+
+    A heap of ``(activation, shard, version)`` entries replaces the
+    reference loop's linear scan (tuple order reproduces its tie-break:
+    earliest activation, then lowest shard index).  Per-shard version
+    counters invalidate stale entries lazily — an admission that moves the
+    queue head re-versions every empty shard, since their activations quote
+    the old head's arrival.
+
+    After admitting at the popped shard the resident set is fixed until the
+    next scheduling event, so the backend prices the whole run of iterations
+    to the next retirement in one vectorized
+    :meth:`~repro.serving.backends.AttentionBackend.step_burst` call; the
+    burst is then cut short at the first iteration whose start would admit a
+    newly arrived request, or at another shard's activation.  All float
+    accounting (clock, busy time, energy, per-resident device seconds) folds
+    through sequential ``cumsum``\\ s over the same values the reference loop
+    adds one at a time, keeping every accumulator bit-identical.
+    """
+    batcher = state.batcher
+    clocks = state.clocks
+    num_shards = batcher.num_shards
+    quantum = state.iteration_rows
+    version = [0] * num_shards
+    heap: "list[tuple[float, int, int]]" = []
+    # Hot-loop locals: the while body below runs once per burst, up to
+    # hundreds of thousands of times per serve.
+    shards = state.shards
+    primed = state.primed
+    rows_of = state.rows_of
+    bus = state.bus
+    record = state.record_iterations
+    occupancy_counts = state.occupancy_counts
+    completed = state.completed
+    max_batch_size = state.max_batch_size
+    running = batcher.running
+    next_arrival_time = batcher.next_arrival_time
+    admit = batcher.admit
+    free_slots = batcher.free_slots
+
+    def push(shard: int) -> None:
+        version[shard] += 1
+        if running[shard]:
+            activation = clocks[shard].now
+        else:
+            next_arrival = next_arrival_time()
+            if next_arrival is None:
+                return
+            activation = max(clocks[shard].now, next_arrival)
+        heapq.heappush(heap, (activation, shard, version[shard]))
+
+    for shard in range(num_shards):
+        push(shard)
+
+    while not batcher.done:
+        while True:
+            _, shard, entry_version = heapq.heappop(heap)
+            if entry_version == version[shard]:
+                break
+        clock = clocks[shard]
+        if not running[shard]:
+            next_arrival = next_arrival_time()
+            if next_arrival is not None:
+                clock.jump_to(next_arrival)
+        head_before = next_arrival_time()
+        admitted = admit(shard, clock.now, rows_of)
+        residents = running[shard]
+        if not residents:  # pragma: no cover - defensive; admit() always lands one
+            push(shard)
+            continue
+        head_now = next_arrival_time()
+        if admitted and head_now != head_before:
+            # The queue head moved: empty shards' queued activations quoted
+            # the old head and must be re-versioned.
+            for other in range(num_shards):
+                if other != shard and not running[other]:
+                    push(other)
+        if admitted and bus.active:
+            _emit_admissions(state, shard, admitted, batcher.waiting_count, clock.now)
+        burst_slices = [
+            (inflight.request, inflight.rows_done, inflight.remaining_rows)
+            for inflight in residents
+        ]
+        burst = shards[shard].step_burst(burst_slices, primed[shard], quantum)
+        length = burst.iterations
+        # times[j] is the start of iteration j + 1; times[length] the end.
+        # Built as [now, s0, s1, ...] then cumsummed in place: numpy's cumsum
+        # adds strictly left to right, so every entry carries the exact bits
+        # the reference loop's one-at-a-time ``+=`` would produce.
+        times = np.empty(length + 1)
+        times[0] = clock.now
+        times[1:] = burst.seconds
+        np.cumsum(times, out=times)
+        if head_now is not None and free_slots(shard) > 0:
+            # An admission-eligible arrival ends the burst at the first
+            # iteration whose start would admit it (arrival <= start).
+            length = min(
+                length, 1 + int(np.searchsorted(times[1:length], head_now, side="left"))
+            )
+        other_entry = _peek_valid(heap, version)
+        if other_entry is not None:
+            # Another shard activates first: run only the iterations that
+            # start strictly before it (at an exact tie the reference scan
+            # prefers the lower shard index).
+            other_activation, other_shard, _ = other_entry
+            side = "right" if shard < other_shard else "left"
+            length = min(
+                length,
+                1 + int(np.searchsorted(times[1:length], other_activation, side=side)),
+            )
+        retiring = length == burst.iterations
+        if length == 1:
+            seconds0 = float(burst.seconds[0])
+            clock.now += seconds0
+            clock.busy_seconds += seconds0
+            state.total_energy += float(burst.energy_joules[0])
+            for inflight in residents:
+                inflight.rows_done += min(quantum, inflight.rows_total - inflight.rows_done)
+                inflight.device_seconds += seconds0
+        else:
+            durations = burst.seconds[:length]
+            clock.now = float(times[length])
+            clock.busy_seconds = _chained_sum(clock.busy_seconds, durations)
+            state.total_energy = _chained_sum(
+                state.total_energy, burst.energy_joules[:length]
+            )
+            device = np.empty((len(residents), length + 1))
+            for index, inflight in enumerate(residents):
+                device[index, 0] = inflight.device_seconds
+            device[:, 1:] = durations
+            np.cumsum(device, axis=1, out=device)
+            advanced = length * quantum
+            for index, inflight in enumerate(residents):
+                inflight.rows_done += min(advanced, inflight.rows_total - inflight.rows_done)
+                inflight.device_seconds = float(device[index, length])
+        occupancy = len(residents) / max_batch_size
+        occupancy_counts[occupancy] += length
+        base_index = state.num_iterations
+        state.num_iterations += length
+        slow = record or bus.active
+        if slow and length > 1:
+            # Non-final iterations record/emit before retirement, matching
+            # the reference loop's event interleaving (retirement may emit
+            # plan-cache lookups of its own).
+            _record_iterations(
+                state, shard, burst_slices, burst, length, times, occupancy,
+                base_index, admitted, 0, length - 1, retiring, (),
+            )
+        retired = batcher.retire_finished(shard, clock.now) if retiring else []
+        if retired:
+            outputs = _retirement_outputs(shards[shard], retired)
+            for inflight, output in zip(retired, outputs):
+                completed.append(_completion(inflight, output))
+        if slow:
+            _record_iterations(
+                state, shard, burst_slices, burst, length, times, occupancy,
+                base_index, admitted, length - 1, length, retiring, retired,
+            )
+        primed[shard] = bool(running[shard])
+        push(shard)
+
+
+def _chained_sum(initial: float, values: "np.ndarray") -> float:
+    """``initial`` plus ``values`` added strictly left to right.
+
+    The vectorized form of the reference loop's per-iteration ``+=`` on a
+    float accumulator: an in-place ``cumsum`` over ``[initial, v0, v1, ...]``
+    performs the identical sequence of additions, so the returned float is
+    bit-identical — never a closed form, never a pairwise reduction.
+    """
+    chain = np.empty(len(values) + 1)
+    chain[0] = initial
+    chain[1:] = values
+    np.cumsum(chain, out=chain)
+    return float(chain[-1])
+
+
+def _peek_valid(heap, version) -> "tuple[float, int, int] | None":
+    """Earliest valid heap entry (pruning stale versions), or ``None``."""
+    while heap and heap[0][2] != version[heap[0][1]]:
+        heapq.heappop(heap)
+    return heap[0] if heap else None
+
+
+def _record_iterations(
+    state: _RunState,
+    shard: int,
+    burst_slices,
+    burst,
+    length: int,
+    times,
+    occupancy: float,
+    base_index: int,
+    admitted,
+    start: int,
+    stop: int,
+    retiring: bool,
+    retired,
+) -> None:
+    """Expand burst iterations ``[start, stop)`` into records and events.
+
+    The slow path of the event scheduler, entered only when iteration
+    records or an active bus ask for per-iteration granularity.  The caller
+    splits the burst around retirement so emission order matches the
+    reference loop exactly: non-final iterations first, then retirement
+    (whose functional pass may emit plan-cache lookups), then the retired
+    events ahead of the final iteration's advancement events.
+    """
+    bus = state.bus
+    quantum = state.iteration_rows
+    full_resident = tuple((request.request_id, quantum) for request, _, _ in burst_slices)
+    admitted_ids = tuple(inflight.request.request_id for inflight in admitted)
+    retired_ids = tuple(inflight.request.request_id for inflight in retired)
+    for index in range(start, stop):
+        final = index == length - 1
+        if final and retiring:
+            resident = tuple(
+                (request.request_id, min(quantum, rows_left - (length - 1) * quantum))
+                for request, _, rows_left in burst_slices
+            )
+        else:
+            resident = full_resident
+        was_primed = state.primed[shard] if index == 0 else True
+        start_value = float(times[index])
+        seconds_value = float(burst.seconds[index])
+        energy_value = float(burst.energy_joules[index])
+        gate_value = int(burst.gate_rows[index])
+        cycles_value = int(burst.cycles[index]) if burst.cycles is not None else None
+        if state.record_iterations:
+            state.records.append(
+                IterationRecord(
+                    index=base_index + index,
+                    shard=shard,
+                    start_seconds=start_value,
+                    seconds=seconds_value,
+                    cycles=cycles_value,
+                    energy_joules=energy_value,
+                    gate_rows=gate_value,
+                    primed=was_primed,
+                    resident=resident,
+                    admitted=admitted_ids if index == 0 else (),
+                    retired=retired_ids if final else (),
+                    occupancy=occupancy,
+                )
+            )
+        if bus.active:
+            if final:
+                for inflight in retired:
+                    bus.emit(_retired_event(inflight, run_id=state.run_id))
+            bus.emit(
+                IterationAdvanced(
+                    index=base_index + index,
+                    shard=shard,
+                    start_seconds=start_value,
+                    seconds=seconds_value,
+                    cycles=cycles_value,
+                    energy_joules=energy_value,
+                    gate_rows=gate_value,
+                    primed=was_primed,
+                    num_resident=len(burst_slices),
+                    occupancy=occupancy,
+                    run_id=state.run_id,
+                )
+            )
+            bus.emit(
+                ShardOccupancy(
+                    shard=shard,
+                    residents=len(burst_slices),
+                    slots=state.max_batch_size,
+                    occupancy=occupancy,
+                    time=start_value,
+                    run_id=state.run_id,
+                )
+            )
+
+
+def _emit_admissions(state: _RunState, shard: int, admitted, queue_depth: int, now: float) -> None:
+    """Admission events plus the queue-depth sample, in reference order."""
+    for inflight in admitted:
+        state.bus.emit(
+            RequestAdmitted(
+                request_id=inflight.request.request_id,
+                shard=shard,
+                admit_time=inflight.admit_time,
+                residency=inflight.residency_at_admit,
+                run_id=state.run_id,
+            )
+        )
+    state.bus.emit(QueueDepth(depth=queue_depth, time=now, run_id=state.run_id))
+
+
+def _completion(inflight: InFlightRequest, output) -> CompletedRequest:
+    """The :class:`CompletedRequest` of one retired in-flight record."""
+    return CompletedRequest(
+        request=inflight.request,
+        output=output,
+        shard=inflight.shard,
+        batch_id=inflight.admission_id,
+        batch_size=inflight.residency_at_admit,
+        device_seconds=inflight.device_seconds,
+        arrival_time=inflight.request.arrival_time,
+        admit_time=inflight.admit_time,
+        finish_time=inflight.finish_time,
+    )
+
+
+def _retired_event(inflight: InFlightRequest, run_id: int) -> RequestRetired:
+    """The telemetry event mirroring one retirement's accounting."""
+    return RequestRetired(
+        request_id=inflight.request.request_id,
+        shard=inflight.shard,
+        batch_id=inflight.admission_id,
+        batch_size=inflight.residency_at_admit,
+        device_seconds=inflight.device_seconds,
+        arrival_time=inflight.request.arrival_time,
+        admit_time=inflight.admit_time,
+        finish_time=inflight.finish_time,
+        run_id=run_id,
     )
 
 
@@ -597,53 +1038,6 @@ def _retirement_outputs(backend, retired: "list[InFlightRequest]"):
     if not backend.functional:
         return (None,) * len(retired)
     return backend.compute_outputs([inflight.request for inflight in retired])
-
-
-# --------------------------------------------------------------------- #
-# Seeded arrival traces (simulated seconds, no wall-clock anywhere)
-# --------------------------------------------------------------------- #
-
-
-def poisson_arrivals(count: int, rate: float, seed: int = 0, start: float = 0.0) -> "list[float]":
-    """``count`` Poisson arrival instants at ``rate`` requests per second.
-
-    Inter-arrival gaps are exponential draws from a seeded generator; the
-    same seed replays the same trace bit-for-bit.
-    """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    if rate <= 0:
-        raise ValueError(f"rate must be positive, got {rate}")
-    rng = np.random.default_rng(seed)
-    gaps = rng.exponential(1.0 / rate, size=count)
-    return [float(instant) for instant in start + np.cumsum(gaps)]
-
-
-def bursty_arrivals(
-    count: int,
-    burst_size: int,
-    burst_gap: float,
-    seed: int = 0,
-    start: float = 0.0,
-    jitter: float = 0.0,
-) -> "list[float]":
-    """Bursts of ``burst_size`` simultaneous arrivals every ``burst_gap`` seconds.
-
-    ``jitter`` spreads each burst's members by seeded exponential offsets
-    (mean ``jitter`` seconds) — the flash-crowd arrival pattern.
-    """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    if burst_size <= 0:
-        raise ValueError(f"burst_size must be positive, got {burst_size}")
-    if burst_gap < 0:
-        raise ValueError(f"burst_gap must be non-negative, got {burst_gap}")
-    rng = np.random.default_rng(seed)
-    offsets = rng.exponential(jitter, size=count) if jitter > 0 else np.zeros(count)
-    return [
-        float(start + (index // burst_size) * burst_gap + offsets[index])
-        for index in range(count)
-    ]
 
 
 def swat_request_rate(
@@ -704,6 +1098,10 @@ class ScenarioComparison:
         return self.continuous.stats.requests_per_second / drain_rps
 
 
+#: ``run_id`` each admission policy's events carry in a compare_modes log.
+COMPARE_RUN_IDS = {"continuous": 0, "drain": 1}
+
+
 def compare_modes(
     requests: "list[AttentionRequest]",
     config: "SWATConfig | None" = None,
@@ -720,12 +1118,15 @@ def compare_modes(
     the reported :attr:`ScenarioComparison.speedup` isolates what mid-flight
     admission/retirement buys over static drain batching.  Each policy gets
     its own :class:`~repro.serving.cache.PlanCache` so cache counters stay
-    comparable.  ``bus`` instruments the *continuous-admission* run only —
-    an event log holds exactly one run, so replay stays well-defined.
+    comparable.  ``bus`` instruments **both** runs into one multi-run log:
+    the continuous run's events carry ``run_id=0`` and the drain run's
+    ``run_id=1`` (:data:`COMPARE_RUN_IDS`), so ``repro-trace replay
+    --run-id`` (or :class:`~repro.telemetry.replay.TraceReplayer` with
+    ``run_id=``) reconstructs either side of the comparison from one log.
     """
     results = {}
     for admission in ADMISSION_MODES:
-        run_bus = bus if admission == "continuous" else None
+        run_id = COMPARE_RUN_IDS[admission]
         results[admission] = serve_continuous(
             requests,
             config=config,
@@ -735,7 +1136,8 @@ def compare_modes(
             iteration_rows=iteration_rows,
             admission=admission,
             policy=policy,
-            plan_cache=PlanCache(bus=run_bus) if run_bus is not None else PlanCache(),
-            bus=run_bus,
+            plan_cache=PlanCache(bus=bus, run_id=run_id) if bus is not None else PlanCache(),
+            bus=bus,
+            run_id=run_id,
         )
     return ScenarioComparison(continuous=results["continuous"], drain=results["drain"])

@@ -11,16 +11,19 @@ both requests/sec and the backend-independent head-rows/sec:
     $ repro-serve --backend analytical --shards 4 --requests 64 --compare
 
 ``--mode continuous`` switches to the iteration-level scheduler of
-:mod:`repro.serving.continuous`: requests arrive over a seeded Poisson trace
-at ``--load`` times the pool's saturation rate, are admitted mid-flight as
-slots free (``--policy sjf`` admits shortest-job-first), and the table gains
-occupancy plus simulated queue/latency percentiles.  ``--compare`` then runs
-the same trace under drain admission on the same simulated clock and prints
-the continuous-over-drain speedup:
+:mod:`repro.serving.continuous`: requests arrive over a seeded trace
+(``--trace poisson`` by default; ``diurnal`` modulates the rate over a
+day-night cycle, ``bursty`` clusters arrivals) at ``--load`` times the
+pool's saturation rate, are admitted mid-flight as slots free (``--policy
+sjf`` admits shortest-job-first), and the table gains occupancy plus
+simulated queue/latency percentiles.  ``--compare`` then runs the same
+trace under drain admission on the same simulated clock and prints the
+continuous-over-drain speedup:
 
 .. code-block:: console
 
     $ repro-serve --mode continuous --backend analytical --requests 64 --compare
+    $ repro-serve --mode continuous --trace diurnal --requests 256
 
 ``--model`` serves whole-model forward passes instead of single attentions:
 each request carries a :class:`~repro.model.spec.ModelSpec` of
@@ -44,7 +47,9 @@ from repro.serving.cache import PlanCache
 from repro.serving.continuous import (
     DEFAULT_ITERATION_ROWS,
     QUEUE_POLICIES,
+    bursty_arrivals,
     compare_modes,
+    diurnal_arrivals,
     poisson_arrivals,
     serve_continuous,
     swat_request_rate,
@@ -56,6 +61,26 @@ __all__ = ["build_parser", "main"]
 
 #: Sequence lengths cycled through when generating the demo request mix.
 DEFAULT_SEQ_LENS = (256, 256, 512, 512, 512, 1024)
+
+#: Seeded arrival processes ``--trace`` can replay in continuous mode.
+ARRIVAL_TRACES = ("poisson", "diurnal", "bursty")
+
+
+def _arrival_times(args, rate: float) -> "list[float]":
+    """The seeded arrival trace for ``--trace`` at mean rate ``rate``."""
+    if args.trace == "diurnal":
+        # Ten day-night cycles across the expected span of the trace.
+        period = max(args.requests / rate, 1e-9) / 10.0
+        return diurnal_arrivals(args.requests, rate, period, seed=args.seed)
+    if args.trace == "bursty":
+        burst_size = max(args.batch_size // 2, 1)
+        return bursty_arrivals(
+            args.requests,
+            burst_size=burst_size,
+            burst_gap=burst_size / rate,
+            seed=args.seed,
+        )
+    return poisson_arrivals(args.requests, rate, seed=args.seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,8 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--load",
         type=float,
         default=3.0,
-        help="continuous mode: Poisson arrival rate as a multiple of the "
+        help="continuous mode: mean arrival rate as a multiple of the "
         "pool's saturation rate (default: 3.0)",
+    )
+    parser.add_argument(
+        "--trace",
+        default="poisson",
+        choices=ARRIVAL_TRACES,
+        help="continuous mode: seeded arrival process — flat poisson, "
+        "rate-modulated diurnal, or clustered bursty (default: poisson)",
     )
     parser.add_argument(
         "--iteration-rows",
@@ -143,8 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the run's telemetry event stream to PATH as JSONL "
-        "(replay/inspect it with repro-trace; with --compare only the "
-        "primary run is logged)",
+        "(replay/inspect it with repro-trace; continuous --compare logs "
+        "both runs into one file — continuous as run_id 0, drain as 1; "
+        "select one with repro-trace ... --run-id)",
     )
     return parser
 
@@ -252,7 +285,7 @@ def _run_continuous(args, config: SWATConfig, bus=None) -> int:
             num_heads=args.model_heads if args.model else 1,
             num_layers=args.model_layers if args.model else 1,
         )
-        arrival_times = poisson_arrivals(len(seq_lens), rate, seed=args.seed)
+        arrival_times = _arrival_times(args, rate)
     else:
         arrival_times = []
     functional = REGISTRY.backend_class(args.backend).functional
@@ -261,7 +294,7 @@ def _run_continuous(args, config: SWATConfig, bus=None) -> int:
     kind = "whole-model forward" if args.model else "attention"
     print(f"serving {len(requests)} {kind} requests on {args.shards} shard(s), "
           f"{args.batch_size} slots, backend {args.backend!r}, "
-          f"continuous admission ({args.policy}, Poisson load x{args.load:g})\n")
+          f"continuous admission ({args.policy}, {args.trace} load x{args.load:g})\n")
     if args.compare:
         comparison = compare_modes(
             requests,

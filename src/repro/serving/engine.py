@@ -93,6 +93,7 @@ class ServingEngine:
         iteration_rows: "int | None" = None,
         policy: str = "fcfs",
         bus=None,
+        run_id: int = 0,
     ):
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -103,12 +104,15 @@ class ServingEngine:
         self.num_shards = num_shards
         self.max_batch_size = max_batch_size
         self.bus = bus if bus is not None else NULL_BUS
+        self.run_id = run_id
         # An instrumented engine without an explicit cache builds one wired to
         # the same bus, so plan-cache lookups land in the same event log.
         if plan_cache is not None:
             self.plan_cache = plan_cache
         else:
-            self.plan_cache = PlanCache(bus=bus) if bus is not None else PlanCache()
+            self.plan_cache = (
+                PlanCache(bus=bus, run_id=run_id) if bus is not None else PlanCache()
+            )
         self.mode = mode
         self.iteration_rows = iteration_rows
         self.policy = policy
@@ -151,6 +155,7 @@ class ServingEngine:
                 plan_cache=self.plan_cache,
                 backends=self.shards,
                 bus=self.bus,
+                run_id=self.run_id,
             )
         return asyncio.run(self.serve_async(requests))
 
@@ -175,6 +180,7 @@ class ServingEngine:
         def elapsed() -> float:
             return time.perf_counter() - start_wall
 
+        run_id = self.run_id
         if bus.active:
             bus.emit(
                 RunStarted(
@@ -183,11 +189,12 @@ class ServingEngine:
                     num_shards=self.num_shards,
                     max_batch_size=self.max_batch_size,
                     num_requests=len(requests),
+                    run_id=run_id,
                 )
             )
 
         batcher = DynamicBatcher(
-            self.config, max_batch_size=self.max_batch_size, bus=bus, clock=elapsed
+            self.config, max_batch_size=self.max_batch_size, bus=bus, clock=elapsed, run_id=run_id
         )
         queues: "list[asyncio.Queue]" = [asyncio.Queue() for _ in range(self.num_shards)]
         # Estimated rows already assigned per shard: the load-balancing signal
@@ -232,6 +239,7 @@ class ServingEngine:
                             device_seconds=result.device_seconds,
                             energy_joules=result.energy_joules,
                             head_rows=result.head_rows,
+                            run_id=run_id,
                         )
                     )
                 for request, output in zip(batch.requests, result.outputs):
@@ -258,6 +266,7 @@ class ServingEngine:
                                 arrival_time=done.arrival_time,
                                 admit_time=done.admit_time,
                                 finish_time=finish,
+                                run_id=run_id,
                             )
                         )
                 queue.task_done()
@@ -275,6 +284,7 @@ class ServingEngine:
                             shard=shard_index,
                             admit_time=now,
                             residency=len(batch),
+                            run_id=run_id,
                         )
                     )
             await queues[shard_index].put(batch)
@@ -300,6 +310,7 @@ class ServingEngine:
                             seq_len=request.seq_len,
                             head_rows=request.head_rows,
                             arrival_time=request.arrival_time,
+                            run_id=run_id,
                         )
                     )
                 full = batcher.add(request)
@@ -339,7 +350,7 @@ class ServingEngine:
             latency_p95_seconds=percentile(latencies, 95.0),
         )
         if bus.active:
-            bus.emit(RunFinished(wall_seconds=wall_seconds, stats=stats.to_dict()))
+            bus.emit(RunFinished(wall_seconds=wall_seconds, stats=stats.to_dict(), run_id=run_id))
         return ServingResult(
             completed=completed,
             stats=stats,

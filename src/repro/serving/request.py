@@ -21,6 +21,14 @@ entire ``L``-layer forward pass through the backend's memoised
 scheduling protocol the batcher, engine and continuous clock rely on:
 ``seq_len``, ``arrival_time``, ``request_id``, ``is_functional`` and the
 backend-independent work measure ``head_rows``.
+
+This module also owns the seeded arrival-trace generators that stamp
+``arrival_time`` for the continuous engine's simulated clock:
+:func:`poisson_arrivals` (memoryless steady load), :func:`bursty_arrivals`
+(flash crowds) and :func:`diurnal_arrivals` (a sinusoidally rate-modulated
+Poisson process — the day/night load curve production traces follow).  All
+three are pure functions of their seed: the same arguments replay the same
+trace bit-for-bit, with no wall clock anywhere.
 """
 
 from __future__ import annotations
@@ -40,6 +48,9 @@ __all__ = [
     "make_request",
     "make_requests",
     "make_forward_request",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
 ]
 
 _REQUEST_IDS = count()
@@ -333,3 +344,103 @@ def make_forward_request(
         weight_seed=weight_seed,
         arrival_time=arrival_time,
     )
+
+
+# --------------------------------------------------------------------- #
+# Seeded arrival traces (simulated seconds, no wall-clock anywhere)
+# --------------------------------------------------------------------- #
+
+
+def poisson_arrivals(count: int, rate: float, seed: int = 0, start: float = 0.0) -> "list[float]":
+    """``count`` Poisson arrival instants at ``rate`` requests per second.
+
+    Inter-arrival gaps are exponential draws from a seeded generator; the
+    same seed replays the same trace bit-for-bit.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=count)
+    return [float(instant) for instant in start + np.cumsum(gaps)]
+
+
+def bursty_arrivals(
+    count: int,
+    burst_size: int,
+    burst_gap: float,
+    seed: int = 0,
+    start: float = 0.0,
+    jitter: float = 0.0,
+) -> "list[float]":
+    """Bursts of ``burst_size`` simultaneous arrivals every ``burst_gap`` seconds.
+
+    ``jitter`` spreads each burst's members by seeded exponential offsets
+    (mean ``jitter`` seconds) — the flash-crowd arrival pattern.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if burst_size <= 0:
+        raise ValueError(f"burst_size must be positive, got {burst_size}")
+    if burst_gap < 0:
+        raise ValueError(f"burst_gap must be non-negative, got {burst_gap}")
+    rng = np.random.default_rng(seed)
+    offsets = rng.exponential(jitter, size=count) if jitter > 0 else np.zeros(count)
+    return [
+        float(start + (index // burst_size) * burst_gap + offsets[index])
+        for index in range(count)
+    ]
+
+
+def diurnal_arrivals(
+    count: int,
+    mean_rate: float,
+    period: float,
+    amplitude: float = 0.9,
+    seed: int = 0,
+    start: float = 0.0,
+    phase: float = 0.0,
+) -> "list[float]":
+    """``count`` arrivals from a sinusoidally rate-modulated Poisson process.
+
+    The instantaneous rate follows the day/night curve
+    ``rate(t) = mean_rate * (1 + amplitude * sin(2 * pi * t / period + phase))``
+    — peaks at ``(1 + amplitude)`` times the mean, troughs at
+    ``(1 - amplitude)`` times (``amplitude=1.0`` goes fully silent overnight).
+    Sampling inverts the integrated rate: seeded unit-exponential gaps are
+    cumulated into event targets of a unit-rate process, then mapped back
+    through the closed-form cumulative rate on a dense grid, which is the
+    standard time-change construction of a non-homogeneous Poisson process.
+    The same arguments replay the same trace bit-for-bit.
+
+    ``phase`` shifts where in the cycle the trace starts: the default begins
+    at the mean rate on the rising edge; ``-pi / 2`` starts in the trough
+    (a cold overnight start).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if mean_rate <= 0:
+        raise ValueError(f"mean_rate must be positive, got {mean_rate}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+    if count == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    # Event targets of the underlying unit-rate process.
+    targets = np.cumsum(rng.exponential(1.0, size=count))
+    # Cumulative rate: integral of rate(t) from 0 to t, monotone because
+    # amplitude <= 1.  Its deviation from mean_rate * t is bounded by
+    # amplitude * period / pi, which bounds the horizon holding all targets.
+    angular = 2.0 * np.pi / period
+    horizon = float(targets[-1]) / mean_rate + amplitude * period / np.pi + period
+
+    def cumulative(t):
+        swing = (amplitude / angular) * (np.cos(phase) - np.cos(angular * t + phase))
+        return mean_rate * (t + swing)
+
+    grid_t = np.linspace(0.0, horizon, num=max(1024, min(1 << 20, 8 * count)) + 1)
+    times = np.interp(targets, cumulative(grid_t), grid_t)
+    return [float(instant) for instant in start + times]

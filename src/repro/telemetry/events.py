@@ -14,15 +14,22 @@ a flat JSON-able dict (``{"v": ..., "kind": ..., **fields}``) and
 :func:`from_record` maps it back.  Floats survive the JSON round trip
 bit-exactly (``repr`` of a float is re-read to the same bits), which is what
 makes replay *bit*-identical rather than merely approximate.
+
+Since schema version 2 every event carries a ``run_id``, so one log can hold
+several runs (e.g. :func:`~repro.serving.continuous.compare_modes` streams
+its continuous run as ``run_id=0`` and its drain run as ``run_id=1``);
+:class:`~repro.telemetry.replay.TraceReplayer` selects one run to fold.
+Version-1 records deserialise unchanged with ``run_id=0``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import ClassVar
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "EVENT_TYPES",
     "Event",
     "RunStarted",
@@ -41,14 +48,22 @@ __all__ = [
 ]
 
 #: Version stamped into every serialised record; bumped on any field change.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schema versions :func:`from_record` can still deserialise.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
 class Event:
-    """Base class every serving event derives from."""
+    """Base class every serving event derives from.
+
+    ``run_id`` tags which run of a (possibly multi-run) log the event
+    belongs to; single-run emitters leave it at 0.
+    """
 
     kind: ClassVar[str] = ""
+    run_id: int = field(default=0, kw_only=True)
 
 
 @dataclass(frozen=True)
@@ -239,9 +254,9 @@ def to_record(event: Event) -> "dict[str, object]":
 def from_record(record: "dict[str, object]") -> Event:
     """Deserialise one :func:`to_record` dict back into its event class."""
     version = record.get("v")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
-            f"unsupported event schema version {version!r} (expected {SCHEMA_VERSION})"
+            f"unsupported event schema version {version!r} (expected one of {SUPPORTED_VERSIONS})"
         )
     kind = record.get("kind")
     cls = EVENT_TYPES.get(kind)

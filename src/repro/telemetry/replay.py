@@ -38,9 +38,19 @@ __all__ = ["TraceReplayer", "replay_stats", "verify_log"]
 
 
 class TraceReplayer:
-    """Fold a run's events back into the engine's :class:`ServingStats`."""
+    """Fold a run's events back into the engine's :class:`ServingStats`.
 
-    def __init__(self) -> None:
+    ``run_id`` selects which run of a multi-run log to fold (e.g. a
+    :func:`~repro.serving.continuous.compare_modes` log holds the continuous
+    run as 0 and the drain run as 1); events of other runs are skipped.
+    With the default ``run_id=None`` the replayer binds to the first
+    ``run_started`` event it sees and then insists the log is single-run —
+    feeding a second run without selecting one is an error, not a silent
+    blend of two runs' accounting.
+    """
+
+    def __init__(self, run_id: "int | None" = None) -> None:
+        self.run_id = run_id
         self.run: "RunStarted | None" = None
         self.finished: "RunFinished | None" = None
         self._shard_busy: "list[float]" = []
@@ -57,11 +67,24 @@ class TraceReplayer:
         self._cache_misses = 0
 
     def feed(self, event: Event) -> None:
-        """Fold one event into the running aggregation."""
+        """Fold one event into the running aggregation (skipping other runs)."""
+        if self.run_id is not None and event.run_id != self.run_id:
+            return
         if isinstance(event, RunStarted):
             if self.run is not None:
-                raise ValueError("log contains more than one run_started event")
+                if self.run_id is None:
+                    raise ValueError(
+                        "log contains more than one run_started event; select one "
+                        "with run_id= (repro-trace: --run-id)"
+                    )
+                raise ValueError(
+                    f"log contains more than one run_started event for run_id={self.run_id}"
+                )
             self.run = event
+            # Bind to the first run's id so later events of other runs are
+            # skipped rather than folded in.
+            if self.run_id is None:
+                self.run_id = event.run_id
             self._shard_busy = [0.0] * event.num_shards
         elif isinstance(event, RequestArrived):
             self._arrived_head_rows += event.head_rows
@@ -146,22 +169,27 @@ class TraceReplayer:
         )
 
 
-def replay_stats(events) -> ServingStats:
-    """Replay an iterable of events (or a log path) into :class:`ServingStats`."""
+def replay_stats(events, run_id: "int | None" = None) -> ServingStats:
+    """Replay an iterable of events (or a log path) into :class:`ServingStats`.
+
+    ``run_id`` selects one run of a multi-run log; by default the log must
+    be single-run.
+    """
     if isinstance(events, (str, bytes)) or hasattr(events, "__fspath__"):
         events = EventLogReader(events)
-    return TraceReplayer().feed_all(events).stats()
+    return TraceReplayer(run_id=run_id).feed_all(events).stats()
 
 
-def verify_log(path) -> "list[str]":
+def verify_log(path, run_id: "int | None" = None) -> "list[str]":
     """Cross-check a log's reconstruction against its recorded stats.
 
-    Replays the log, compares every field of the reconstructed stats against
-    the ``run_finished`` event's recorded :meth:`ServingStats.to_dict`, and
-    returns a list of human-readable mismatch descriptions (empty when the
-    reconstruction is bit-identical).
+    Replays the log (one run of it, when ``run_id`` is given), compares
+    every field of the reconstructed stats against the ``run_finished``
+    event's recorded :meth:`ServingStats.to_dict`, and returns a list of
+    human-readable mismatch descriptions (empty when the reconstruction is
+    bit-identical).
     """
-    replayer = TraceReplayer().feed_all(EventLogReader(path))
+    replayer = TraceReplayer(run_id=run_id).feed_all(EventLogReader(path))
     reconstructed = replayer.stats().to_dict()
     if replayer.finished is None:
         return ["log has no run_finished event; recorded stats unavailable"]

@@ -10,7 +10,9 @@ Subcommands over the JSONL logs ``repro-serve --events PATH`` writes:
     the log alone and print the stats table.  ``--strict`` additionally
     cross-checks every field against the stats the live run recorded in its
     ``run_finished`` event, exiting non-zero on any mismatch — the CI smoke
-    job's parity gate.
+    job's parity gate.  ``--run-id`` selects one run of a multi-run log
+    (``repro-serve --compare`` logs the continuous run as 0 and the drain
+    run as 1).
 
 ``watch``
     Live console over a (possibly still growing) log: a textual DataTable
@@ -49,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     summarize = commands.add_parser("summarize", help="event counts + metrics snapshot")
     summarize.add_argument("path", help="event log to summarise")
     summarize.add_argument("--json", action="store_true", help="emit the snapshot as JSON")
+    summarize.add_argument(
+        "--run-id", type=int, default=None, help="restrict to one run of a multi-run log"
+    )
 
     replay = commands.add_parser("replay", help="reconstruct ServingStats from the log")
     replay.add_argument("path", help="event log to replay")
@@ -56,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="fail unless the reconstruction matches the recorded stats bit for bit",
+    )
+    replay.add_argument(
+        "--run-id", type=int, default=None, help="replay one run of a multi-run log"
     )
 
     watcher = commands.add_parser("watch", help="live metrics console over a log")
@@ -72,8 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_summarize(args) -> int:
     reader = EventLogReader(args.path)
-    counts = Counter(record["kind"] for record in reader.records())
-    aggregator = MetricsAggregator().feed_all(reader)
+    counts = Counter(
+        record["kind"]
+        for record in reader.records()
+        if args.run_id is None or record.get("run_id", 0) == args.run_id
+    )
+    events = (
+        reader
+        if args.run_id is None
+        else (event for event in reader if event.run_id == args.run_id)
+    )
+    aggregator = MetricsAggregator().feed_all(events)
     if args.json:
         snapshot = {
             key: value for key, value in aggregator.snapshot().items() if key != "status"
@@ -90,12 +107,12 @@ def _cmd_summarize(args) -> int:
 
 
 def _cmd_replay(args) -> int:
-    replayer = TraceReplayer().feed_all(EventLogReader(args.path))
+    replayer = TraceReplayer(run_id=args.run_id).feed_all(EventLogReader(args.path))
     stats = replayer.stats()
     print(stats.to_table(title=f"Replayed serving stats ({args.path})").render())
     if not args.strict:
         return 0
-    mismatches = verify_log(args.path)
+    mismatches = verify_log(args.path, run_id=args.run_id)
     if mismatches:
         print()
         print(f"replay mismatch: {len(mismatches)} field(s) differ from the recorded stats")

@@ -182,3 +182,78 @@ class TestAnalyticalOnlyBackends:
             AttentionRequest(seq_len=64)
         )
         assert result.cycles > 0
+
+
+class TestStepBurst:
+    """Vectorized burst pricing is bit-identical to the looped ``step`` default.
+
+    ``AttentionBackend.step_burst`` loops :meth:`step` per iteration — the
+    definitionally correct pricing.  Every backend override must reproduce
+    its arrays entry for entry, bit-exactly, or the event-driven scheduler
+    would drift from the quantum-stepped reference.
+    """
+
+    CONTINUOUS_BACKENDS = [
+        "simulator",
+        "analytical",
+        "gpu-dense",
+        "gpu-chunked",
+        "dense-fpga",
+    ]
+
+    @staticmethod
+    def _assert_bursts_equal(vectorized, looped):
+        assert vectorized.iterations == looped.iterations
+        assert np.array_equal(vectorized.seconds, looped.seconds)
+        assert np.array_equal(vectorized.energy_joules, looped.energy_joules)
+        assert np.array_equal(vectorized.gate_rows, looped.gate_rows)
+        if looped.cycles is None:
+            assert vectorized.cycles is None
+        else:
+            assert np.array_equal(vectorized.cycles, looped.cycles)
+
+    @pytest.mark.parametrize("name", CONTINUOUS_BACKENDS)
+    @pytest.mark.parametrize("primed", [False, True])
+    @pytest.mark.parametrize("iteration_rows", [5, 16, 64, 1000])
+    def test_burst_matches_looped_default(self, name, primed, iteration_rows):
+        backend = create_backend(name, config=_config())
+        requests = [
+            AttentionRequest(seq_len=seq_len, num_heads=num_heads)
+            for seq_len, num_heads in ((48, 1), (96, 2), (33, 1))
+        ]
+        slices = [
+            (request, rows_done, backend.request_rows(request) - rows_done)
+            for request, rows_done in zip(requests, (0, 16, 5))
+        ]
+        vectorized = backend.step_burst(slices, primed, iteration_rows)
+        looped = AttentionBackend.step_burst(backend, slices, primed, iteration_rows)
+        self._assert_bursts_equal(vectorized, looped)
+
+    def test_forward_slice_falls_back_to_looped_default(self):
+        """Whole-model forwards have no closed form: the SWAT override defers."""
+        from repro.model import ModelSpec
+        from repro.serving.request import make_forward_request
+
+        config = _config()
+        spec = ModelSpec.uniform(
+            2, 24, window_tokens=8, num_heads=2, head_dim=config.head_dim
+        )
+        backend = create_backend("analytical", config=config, plan_cache=PlanCache())
+        forward = make_forward_request(spec, functional=False)
+        attention = AttentionRequest(seq_len=48)
+        slices = [
+            (forward, 0, backend.request_rows(forward)),
+            (attention, 0, backend.request_rows(attention)),
+        ]
+        for primed in (False, True):
+            burst = backend.step_burst(slices, primed, 16)
+            looped = AttentionBackend.step_burst(backend, slices, primed, 16)
+            self._assert_bursts_equal(burst, looped)
+
+    @pytest.mark.parametrize("name", CONTINUOUS_BACKENDS)
+    def test_burst_validation(self, name):
+        backend = create_backend(name, config=_config())
+        with pytest.raises(ValueError, match="at least one resident"):
+            backend.step_burst([], False, 16)
+        with pytest.raises(ValueError, match="remaining rows"):
+            backend.step_burst([(AttentionRequest(seq_len=32), 32, 0)], True, 16)

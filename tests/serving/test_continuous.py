@@ -19,21 +19,27 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from dataclasses import fields
+
 from repro.core.config import SWATConfig
 from repro.core.pipeline import SWATPipelineModel
 from repro.serving.backends import create_backend
 from repro.serving.continuous import (
+    SCHEDULERS,
     ContinuousBatcher,
     ServingClock,
     bursty_arrivals,
     compare_modes,
+    diurnal_arrivals,
     poisson_arrivals,
     serve_continuous,
     swat_request_rate,
 )
 from repro.serving.engine import ServingEngine
 from repro.serving.request import AttentionRequest, make_requests
-from repro.serving.stats import percentile
+from repro.serving.stats import ServingStats, percentile
+from repro.telemetry import EventBus
+from repro.telemetry.events import to_record
 
 HEAD_DIM = 8
 
@@ -214,6 +220,141 @@ class TestDeterminism:
         arrivals = poisson_arrivals(64, rate=10.0, seed=0)
         assert arrivals == sorted(arrivals)
         assert all(instant >= 0 for instant in arrivals)
+
+    def test_diurnal_arrivals_replay_sorted_and_validated(self):
+        first = diurnal_arrivals(64, mean_rate=50.0, period=1.0, seed=7)
+        second = diurnal_arrivals(64, mean_rate=50.0, period=1.0, seed=7)
+        assert first == second
+        assert first == sorted(first)
+        assert len(first) == 64 and all(instant >= 0 for instant in first)
+        assert diurnal_arrivals(0, mean_rate=1.0, period=1.0) == []
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_arrivals(4, mean_rate=1.0, period=1.0, amplitude=1.5)
+        with pytest.raises(ValueError, match="period"):
+            diurnal_arrivals(4, mean_rate=1.0, period=0.0)
+        with pytest.raises(ValueError, match="mean_rate"):
+            diurnal_arrivals(4, mean_rate=0.0, period=1.0)
+
+    def test_diurnal_arrivals_cluster_in_the_daytime_half(self):
+        # rate(t) = mean * (1 + sin(2 pi t / period)): with full modulation,
+        # the rising half of each cycle must hold far more arrivals than the
+        # overnight trough half.
+        period = 2.0
+        arrivals = diurnal_arrivals(
+            512, mean_rate=256.0, period=period, amplitude=1.0, seed=1
+        )
+        day = sum(1 for instant in arrivals if (instant % period) < period / 2)
+        night = len(arrivals) - day
+        assert day > 3 * night
+
+
+class TestSchedulerEquivalence:
+    """The event-driven scheduler is a bit-exact drop-in for the reference loop.
+
+    This is the tentpole contract of the vectorized scheduler: for any seeded
+    trace it must reproduce the quantum-stepped reference loop's every
+    accounting bit — the :class:`ServingStats` fields, the per-iteration
+    records, and the telemetry event stream (``wall_seconds`` excepted, since
+    it reads the host clock).
+    """
+
+    def _run_both(self, requests, **kwargs):
+        runs = {}
+        for scheduler in SCHEDULERS:
+            bus = EventBus()
+            events = []
+            bus.subscribe(events.append)
+            result = serve_continuous(
+                list(requests), scheduler=scheduler, bus=bus, **kwargs
+            )
+            runs[scheduler] = (result, [to_record(event) for event in events])
+        return runs["event"], runs["reference"]
+
+    @staticmethod
+    def _assert_equivalent(event_run, reference_run):
+        event_result, event_log = event_run
+        reference_result, reference_log = reference_run
+        for spec in fields(ServingStats):
+            if spec.name == "wall_seconds":
+                continue
+            event_value = getattr(event_result.stats, spec.name)
+            reference_value = getattr(reference_result.stats, spec.name)
+            assert event_value == reference_value, (
+                f"stats.{spec.name}: event {event_value!r} != "
+                f"reference {reference_value!r}"
+            )
+        assert event_result.iterations == reference_result.iterations
+        assert [done.request.request_id for done in event_result.completed] == [
+            done.request.request_id for done in reference_result.completed
+        ]
+        assert [done.finish_time for done in event_result.completed] == [
+            done.finish_time for done in reference_result.completed
+        ]
+        assert len(event_log) == len(reference_log)
+        for event_record, reference_record in zip(event_log, reference_log):
+            if event_record["kind"] == "run_finished":
+                event_record, reference_record = (
+                    {
+                        **record,
+                        "wall_seconds": 0.0,
+                        "stats": {**record["stats"], "wall_seconds": 0.0},
+                    }
+                    for record in (event_record, reference_record)
+                )
+            assert event_record == reference_record
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        trace=trace_strategy,
+        num_shards=st.integers(1, 3),
+        policy=st.sampled_from(["fcfs", "sjf"]),
+        admission=st.sampled_from(["continuous", "drain"]),
+    )
+    def test_event_scheduler_matches_reference_bitwise(
+        self, trace, num_shards, policy, admission
+    ):
+        seq_lens, arrival_seed, max_batch_size, iteration_rows = trace
+        config = _config()
+        event_run, reference_run = self._run_both(
+            _trace_requests(seq_lens, arrival_seed, functional=False),
+            config=config,
+            backend="analytical",
+            num_shards=num_shards,
+            max_batch_size=max_batch_size,
+            iteration_rows=iteration_rows,
+            policy=policy,
+            admission=admission,
+        )
+        self._assert_equivalent(event_run, reference_run)
+
+    def test_equivalence_holds_on_a_diurnal_functional_trace(self):
+        # A functional backend adds plan-cache lookups to the stream and
+        # real outputs to the completions; both must still line up exactly.
+        config = _config()
+        seq_lens = [16, 24, 33, 8, 48, 16, 24, 33] * 3
+        rate = 3.0 * swat_request_rate(config, seq_lens, max_batch_size=3)
+        arrivals = diurnal_arrivals(
+            len(seq_lens), rate, period=len(seq_lens) / rate / 3.0, seed=13
+        )
+        event_run, reference_run = self._run_both(
+            make_requests(seq_lens, config.head_dim, seed=13, arrival_times=arrivals),
+            config=config,
+            backend="simulator",
+            num_shards=2,
+            max_batch_size=3,
+            iteration_rows=16,
+        )
+        self._assert_equivalent(event_run, reference_run)
+        for event_done, reference_done in zip(
+            event_run[0].completed, reference_run[0].completed
+        ):
+            assert np.array_equal(event_done.output, reference_done.output)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            serve_continuous(
+                [], config=_config(), backend="analytical", scheduler="fifo"
+            )
 
 
 class TestHeadOfLineBlocking:

@@ -104,8 +104,23 @@ class TestEventLogCli:
             tmp_path, extra=["--mode", "continuous", "--compare"]
         )
         capsys.readouterr()
-        # --compare runs two engines but logs only the continuous one, so the
-        # log still contains exactly one replayable run.
+        # --compare logs both runs into one file: continuous as run_id 0 and
+        # drain as 1, each independently replayable bit-for-bit.
+        assert trace_main(["replay", str(path), "--run-id", "0", "--strict"]) == 0
+        assert "replay verified" in capsys.readouterr().out
+        assert trace_main(["replay", str(path), "--run-id", "1", "--strict"]) == 0
+        assert "replay verified" in capsys.readouterr().out
+        # Without --run-id the replayer binds to the first run in the log.
+        assert trace_main(["replay", str(path), "--strict"]) == 0
+        assert "replay verified" in capsys.readouterr().out
+
+    def test_diurnal_trace_flag(self, tmp_path, capsys):
+        path = self._serve_with_events(
+            tmp_path, extra=["--mode", "continuous", "--trace", "diurnal"]
+        )
+        out = capsys.readouterr().out
+        assert "diurnal load" in out
+        capsys.readouterr()
         assert trace_main(["replay", str(path), "--strict"]) == 0
         assert "replay verified" in capsys.readouterr().out
 
@@ -154,12 +169,27 @@ class TestExampleScript:
         with mock.patch.object(sys, "argv", [str(example), "--events", str(log)]):
             runpy.run_path(str(example), run_name="__main__")
         out = capsys.readouterr().out
-        assert "continuous batching on a Poisson x4 trace" in out
+        assert "continuous batching on a poisson x4 trace" in out
         assert f"repro-trace summarize {log}" in out
         assert log.exists()
         capsys.readouterr()
-        assert trace_main(["replay", str(log), "--strict"]) == 0
+        # The example logs both comparison runs; replay each by run id.
+        assert trace_main(["replay", str(log), "--run-id", "0", "--strict"]) == 0
         assert "replay verified" in capsys.readouterr().out
+        assert trace_main(["replay", str(log), "--run-id", "1", "--strict"]) == 0
+        assert "replay verified" in capsys.readouterr().out
+
+    def test_serving_demo_example_diurnal_trace(self, capsys):
+        """The walkthrough's --trace diurnal variant runs end to end."""
+        import runpy
+        import sys
+        from pathlib import Path
+        from unittest import mock
+
+        example = Path(__file__).resolve().parents[2] / "examples" / "serving_demo.py"
+        with mock.patch.object(sys, "argv", [str(example), "--trace", "diurnal"]):
+            runpy.run_path(str(example), run_name="__main__")
+        assert "continuous batching on a diurnal x4 trace" in capsys.readouterr().out
 
 
 class TestValidation:

@@ -124,7 +124,8 @@ class TestContinuousReplay:
         _assert_stats_identical(result.stats, replayed)
         assert replayed.cache_hits + replayed.cache_misses > 0
 
-    def test_compare_modes_logs_only_the_continuous_run(self, tmp_path):
+    def test_compare_modes_logs_both_runs_replayably(self, tmp_path):
+        """One compare_modes log holds both runs; each replays bit-identically."""
         config = _config()
         seq_lens = [24, 48, 32, 64] * 4
         arrivals = poisson_arrivals(len(seq_lens), 3000.0, seed=9)
@@ -141,9 +142,34 @@ class TestContinuousReplay:
             bus=bus,
         )
         writer.close()
-        replayed = replay_stats(path)
-        _assert_stats_identical(comparison.continuous.stats, replayed)
-        assert replayed.mode == "continuous"
+        continuous = replay_stats(path, run_id=0)
+        _assert_stats_identical(comparison.continuous.stats, continuous)
+        assert continuous.mode == "continuous"
+        drain = replay_stats(path, run_id=1)
+        _assert_stats_identical(comparison.drain.stats, drain)
+        assert drain.mode == "drain"
+        assert verify_log(path, run_id=0) == []
+        assert verify_log(path, run_id=1) == []
+        # Unselected replay binds to the first run in the log (the continuous
+        # one) and skips the other run's events entirely.
+        _assert_stats_identical(comparison.continuous.stats, replay_stats(path))
+
+    def test_second_run_started_without_selection_raises(self, tmp_path):
+        """Two runs under one run_id (or an explicit clash) is an error."""
+        config = _config()
+        requests = make_requests([24, 32], config.head_dim, functional=False)
+        path, bus, writer = _instrumented_log(tmp_path, "tworuns.jsonl")
+        serve_continuous(
+            requests, config=config, backend="analytical", max_batch_size=2, bus=bus
+        )
+        serve_continuous(
+            requests, config=config, backend="analytical", max_batch_size=2, bus=bus
+        )
+        writer.close()
+        with pytest.raises(ValueError, match="more than one run_started"):
+            replay_stats(path)
+        with pytest.raises(ValueError, match="more than one run_started"):
+            replay_stats(path, run_id=0)
 
 
 class TestDrainReplay:
