@@ -313,7 +313,7 @@ def test_event_scheduler_replays_100k_diurnal_trace_in_seconds(benchmark):
         config.head_dim,
         functional=False,
         arrival_times=diurnal_arrivals(
-            count, mean_rate, period, amplitude=1.0, seed=0
+            count, mean_rate, period, amplitude=0.95, seed=0
         ),
     )
 

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-swat",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of SWAT (DAC 2024): window-attention FPGA acceleration, "
         "with a compiled execution-plan IR, whole-model plan compilation, an "

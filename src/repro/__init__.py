@@ -45,7 +45,7 @@ experiments
 from repro.core.config import SWATConfig
 from repro.core.simulator import SWATSimulator, SimulationResult
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SWATConfig",

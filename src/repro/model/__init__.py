@@ -27,15 +27,23 @@ from repro.model.executor import (
     ReferenceEncoder,
     forward_inputs,
 )
-from repro.model.plan import ModelPlan, ModelPlanCompiler, ModelShapeGroup
+from repro.model.plan import (
+    DecodePlan,
+    ModelPlan,
+    ModelPlanCompiler,
+    ModelShapeGroup,
+    compile_decode_plan,
+)
 from repro.model.spec import LayerGeometry, ModelSpec
 
 __all__ = [
     "LayerGeometry",
     "ModelSpec",
+    "DecodePlan",
     "ModelPlan",
     "ModelPlanCompiler",
     "ModelShapeGroup",
+    "compile_decode_plan",
     "ModelExecutor",
     "PlanAttention",
     "ReferenceEncoder",

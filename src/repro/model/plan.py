@@ -32,6 +32,7 @@ capacity planning but contributes no accelerator cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from math import ceil
 
 import numpy as np
@@ -42,7 +43,13 @@ from repro.core.plan import ExecutionPlan, compile_plan
 from repro.core.power import PowerModel
 from repro.model.spec import ModelSpec
 
-__all__ = ["ModelShapeGroup", "ModelPlan", "ModelPlanCompiler"]
+__all__ = [
+    "ModelShapeGroup",
+    "ModelPlan",
+    "DecodePlan",
+    "ModelPlanCompiler",
+    "compile_decode_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -87,8 +94,114 @@ class ModelShapeGroup:
         return self.num_layers * self.num_heads
 
 
+class _RowSpanPricing:
+    """Positional pricing along a segmented row axis (mixin).
+
+    Hosts share one contract: ``cum_rows`` (``(S + 1,)`` prefix of rows per
+    segment), ``layer_ii`` / ``layer_fill`` (per-segment initiation interval
+    and pipeline depth, cycles), ``switch_fill`` (per-segment refill charged
+    when the segment's geometry differs from its predecessor's; segment 0
+    always carries it) and ``total_rows``.  :class:`ModelPlan` uses one
+    segment per layer; :class:`DecodePlan` one per ``(block, layer)`` pair.
+    All arrays are int64, so every price below is exact integer arithmetic.
+    """
+
+    def span_cycles(self, row_lo: int, row_hi: int, primed: bool) -> int:
+        """Cycles to stream rows ``[row_lo, row_hi)`` in one iteration.
+
+        Rows are priced at their segment's initiation interval.  Fills: an
+        interior geometry switch (a segment ``s > 0`` whose boundary falls in
+        the span) always pays that segment's refill — the datapath is
+        reconfigured whether or not the pipeline was streaming; the row
+        axis's own initial fill (segment 0, or a span starting cold
+        mid-segment) follows the continuous engine's ``primed`` rule, exactly
+        like an attention request admitted into a streaming pipeline.  Any
+        slicing of ``[0, total_rows)`` that starts cold and stays primed
+        therefore sums exactly to ``total_cycles`` (the conservation property
+        the continuous-mode tests assert).
+        """
+        if not 0 <= row_lo < row_hi <= self.total_rows:
+            raise ValueError(
+                f"span [{row_lo}, {row_hi}) out of range [0, {self.total_rows}]"
+            )
+        first = int(np.searchsorted(self.cum_rows, row_lo, side="right")) - 1
+        last = int(np.searchsorted(self.cum_rows, row_hi, side="left")) - 1
+        cycles = 0
+        start_fill_charged = False
+        for layer in range(first, last + 1):
+            start = int(self.cum_rows[layer])
+            end = int(self.cum_rows[layer + 1])
+            covered = min(row_hi, end) - max(row_lo, start)
+            cycles += covered * int(self.layer_ii[layer])
+            fill = int(self.switch_fill[layer])
+            if not fill or start < row_lo:
+                continue
+            if layer == 0:
+                if not primed:
+                    cycles += fill
+                    start_fill_charged = True
+            else:
+                cycles += fill
+                if start == row_lo:
+                    start_fill_charged = True
+        if not primed and not start_fill_charged:
+            cycles += int(self.layer_fill[first] - self.layer_ii[first])
+        return cycles
+
+    @cached_property
+    def _row_cycles_prefix(self) -> np.ndarray:
+        """Exclusive prefix of per-segment streaming cycles (fills excluded)."""
+        segment_rows = np.diff(self.cum_rows)
+        return np.concatenate([[0], np.cumsum(segment_rows * self.layer_ii)])[:-1]
+
+    @cached_property
+    def _interior_fill_prefix(self) -> np.ndarray:
+        """``[j]`` = summed refills of the first ``j`` interior boundaries."""
+        return np.concatenate([[0], np.cumsum(self.switch_fill[1:])])
+
+    def span_cycles_batch(self, boundaries, primed: bool) -> np.ndarray:
+        """Vectorized :meth:`span_cycles` over consecutive spans.
+
+        ``boundaries`` is a strictly increasing int array ``(K + 1,)``; span
+        ``i`` covers rows ``[boundaries[i], boundaries[i + 1])``.  The first
+        span follows ``primed``; later spans are primed by construction (the
+        pipeline just streamed the preceding span) — matching the looped
+        ``step_burst`` reference exactly.  Spans after the first price as
+        differences of a cumulative cost ``C(b)`` (streamed rows below ``b``
+        plus interior refills whose boundary lies below ``b``), so the whole
+        burst is two ``searchsorted`` calls instead of a Python loop.
+        Returns the int64 per-span cycle vector.
+        """
+        bounds = np.asarray(boundaries, dtype=np.int64)
+        if bounds.ndim != 1 or len(bounds) < 2:
+            raise ValueError("boundaries must delimit at least one span")
+        if bounds[-1] > self.total_rows or np.any(np.diff(bounds) <= 0):
+            raise ValueError(
+                f"boundaries must increase strictly within [0, {self.total_rows}]"
+            )
+        out = np.empty(len(bounds) - 1, dtype=np.int64)
+        out[0] = self.span_cycles(int(bounds[0]), int(bounds[1]), primed)
+        if len(bounds) == 2:
+            return out
+        cum_rows = self.cum_rows
+        num_segments = len(cum_rows) - 1
+        tail = bounds[1:]
+        segment = np.minimum(
+            np.searchsorted(cum_rows, tail, side="right") - 1, num_segments - 1
+        )
+        row_cost = self._row_cycles_prefix[segment] + (
+            tail - cum_rows[segment]
+        ) * self.layer_ii[segment]
+        fills = self._interior_fill_prefix[
+            np.searchsorted(cum_rows[1:-1], tail, side="left")
+        ]
+        cumulative = row_cost + fills
+        out[1:] = cumulative[1:] - cumulative[:-1]
+        return out
+
+
 @dataclass(frozen=True, eq=False)
-class ModelPlan:
+class ModelPlan(_RowSpanPricing):
     """The compiled whole-forward IR of one ``(spec, base config)`` pair.
 
     All per-layer quantities are dense vectors indexed by layer, with
@@ -193,51 +306,110 @@ class ModelPlan:
         """The compiled execution plan layer ``layer`` runs its heads on."""
         return self.groups[self.layer_group[layer]].plan
 
-    # ------------------------------------------------------------------ #
-    # Iteration-level pricing (continuous batching)
-    # ------------------------------------------------------------------ #
 
-    def span_cycles(self, row_lo: int, row_hi: int, primed: bool) -> int:
-        """Cycles to stream forward rows ``[row_lo, row_hi)`` in one iteration.
+@dataclass(frozen=True, eq=False)
+class DecodePlan(_RowSpanPricing):
+    """The priced row axis of one autoregressive decode over a compiled model.
 
-        Rows are priced at their layer's initiation interval.  Fills: an
-        interior geometry switch (a layer ``l > 0`` whose boundary falls in
-        the span) always pays that layer's refill — the datapath is
-        reconfigured whether or not the pipeline was streaming; the forward's
-        own initial fill (layer 0, or a span starting cold mid-layer) follows
-        the continuous engine's ``primed`` rule, exactly like an attention
-        request admitted into a streaming pipeline.  Any slicing of
-        ``[0, total_rows)`` that starts cold and stays primed therefore sums
-        exactly to :attr:`total_cycles` (the conservation property the
-        continuous-mode tests assert).
-        """
-        if not 0 <= row_lo < row_hi <= self.total_rows:
-            raise ValueError(
-                f"span [{row_lo}, {row_hi}) out of range [0, {self.total_rows}]"
-            )
-        first = int(np.searchsorted(self.cum_rows, row_lo, side="right")) - 1
-        last = int(np.searchsorted(self.cum_rows, row_hi, side="left")) - 1
-        cycles = 0
-        start_fill_charged = False
-        for layer in range(first, last + 1):
-            start = int(self.cum_rows[layer])
-            end = int(self.cum_rows[layer + 1])
-            covered = min(row_hi, end) - max(row_lo, start)
-            cycles += covered * int(self.layer_ii[layer])
-            fill = int(self.switch_fill[layer])
-            if not fill or start < row_lo:
-                continue
-            if layer == 0:
-                if not primed:
-                    cycles += fill
-                    start_fill_charged = True
-            else:
-                cycles += fill
-                if start == row_lo:
-                    start_fill_charged = True
-        if not primed and not start_fill_charged:
-            cycles += int(self.layer_fill[first] - self.layer_ii[first])
-        return cycles
+    Decode generates ``new_tokens`` rows in blocks
+    (:func:`repro.serving.request.decode_block_schedule`); each block runs
+    every layer over only its newly finalized token rows, with the prompt's
+    K/V resident.  The row axis is therefore segmented per ``(block, layer)``
+    pair in block-major order: block ``b``'s segment for layer ``l`` streams
+    ``token_rows[l] * k_b`` rows at layer ``l``'s initiation interval, and a
+    segment pays layer ``l``'s refill exactly when its geometry differs from
+    the previous segment's — so on a uniform model the pipeline stays primed
+    across block boundaries (block size never changes total cycles), while a
+    multi-geometry model re-fills per block, which is precisely what larger
+    decode blocks amortise.
+
+    Attributes
+    ----------
+    model:
+        The :class:`ModelPlan` the decode runs over (II/fill/geometry per
+        layer come from it).
+    block_sizes:
+        Tokens finalized per block; sums to the decode's ``new_tokens``.
+    cum_rows, layer_ii, layer_fill, switch_fill:
+        Per-segment arrays in the :class:`_RowSpanPricing` contract.
+    segment_cycles, cum_cycles:
+        Per-segment cycles (streaming + charged refill) and their prefix.
+    clock_period_s:
+        Seconds per cycle of the serving datapath (from the model plan).
+    """
+
+    model: ModelPlan
+    block_sizes: "tuple[int, ...]"
+    cum_rows: np.ndarray
+    layer_ii: np.ndarray
+    layer_fill: np.ndarray
+    switch_fill: np.ndarray
+    segment_cycles: np.ndarray
+    cum_cycles: np.ndarray
+    clock_period_s: float
+
+    @property
+    def num_blocks(self) -> int:
+        """Decode steps (blocks) this plan prices."""
+        return len(self.block_sizes)
+
+    @property
+    def new_tokens(self) -> int:
+        """Tokens the decode generates (sum of the block sizes)."""
+        return sum(self.block_sizes)
+
+    @property
+    def total_rows(self) -> int:
+        """Pipeline rows the whole decode streams across blocks and layers."""
+        return int(self.cum_rows[-1])
+
+    @property
+    def total_cycles(self) -> int:
+        """Accelerator cycles of the whole decode, refills included."""
+        return int(self.cum_cycles[-1])
+
+    @property
+    def total_seconds(self) -> float:
+        """Modelled accelerator time of the whole decode."""
+        return self.total_cycles * self.clock_period_s
+
+
+def compile_decode_plan(model: ModelPlan, block_sizes) -> DecodePlan:
+    """Price a block-decode row axis over an already-compiled :class:`ModelPlan`.
+
+    ``block_sizes`` is the decode's step schedule (tokens finalized per
+    step).  No schedule is re-compiled: the decode reuses the model plan's
+    per-layer initiation intervals, fills and geometry groups, laid out
+    block-major along a fresh row axis.
+    """
+    blocks = tuple(int(size) for size in block_sizes)
+    if not blocks or any(size <= 0 for size in blocks):
+        raise ValueError(f"block_sizes must be positive, got {block_sizes!r}")
+    # Rows one token streams per layer: heads spread across the pipelines
+    # exactly as in the prefill (rows_per_layer is per-token-uniform).
+    token_rows = model.rows_per_layer // model.seq_len
+    num_blocks = len(blocks)
+    segment_rows = np.concatenate([token_rows * size for size in blocks])
+    segment_ii = np.tile(model.layer_ii, num_blocks)
+    segment_fill = np.tile(model.layer_fill, num_blocks)
+    segment_group = np.tile(np.asarray(model.layer_group, dtype=np.int64), num_blocks)
+    switches = np.ones(len(segment_rows), dtype=bool)
+    switches[1:] = segment_group[1:] != segment_group[:-1]
+    switch_fill = np.where(switches, segment_fill - segment_ii, 0).astype(np.int64)
+    cum_rows = np.concatenate([[0], np.cumsum(segment_rows)])
+    segment_cycles = segment_rows * segment_ii + switch_fill
+    cum_cycles = np.concatenate([[0], np.cumsum(segment_cycles)])
+    return DecodePlan(
+        model=model,
+        block_sizes=blocks,
+        cum_rows=cum_rows,
+        layer_ii=segment_ii,
+        layer_fill=segment_fill,
+        switch_fill=switch_fill,
+        segment_cycles=segment_cycles,
+        cum_cycles=cum_cycles,
+        clock_period_s=model.clock_period_s,
+    )
 
 
 class ModelPlanCompiler:

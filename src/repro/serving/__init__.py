@@ -18,7 +18,7 @@ from repro.serving.backends import (
     register_backend,
 )
 from repro.serving.batcher import DynamicBatcher, seq_len_bucket
-from repro.serving.cache import CachedPlan, PlanCache, config_fingerprint
+from repro.serving.cache import CachedPlan, KVResidency, PlanCache, config_fingerprint
 from repro.serving.continuous import (
     QUEUE_POLICIES,
     SCHEDULERS,
@@ -37,12 +37,15 @@ from repro.serving.engine import ServingEngine, ServingResult
 from repro.serving.request import (
     AttentionRequest,
     CompletedRequest,
+    DecodeRequest,
     ForwardRequest,
+    decode_block_schedule,
+    make_decode_request,
     make_forward_request,
     make_request,
     make_requests,
 )
-from repro.serving.stats import BatchRecord, ServingStats, percentile
+from repro.serving.stats import BatchRecord, ServingStats, decode_token_intervals, percentile
 
 __all__ = [
     "AttentionBackend",
@@ -54,6 +57,7 @@ __all__ = [
     "DynamicBatcher",
     "seq_len_bucket",
     "CachedPlan",
+    "KVResidency",
     "PlanCache",
     "config_fingerprint",
     "ContinuousBatcher",
@@ -71,12 +75,16 @@ __all__ = [
     "ServingEngine",
     "ServingResult",
     "AttentionRequest",
+    "DecodeRequest",
     "ForwardRequest",
     "CompletedRequest",
+    "decode_block_schedule",
     "make_request",
     "make_requests",
+    "make_decode_request",
     "make_forward_request",
     "BatchRecord",
     "ServingStats",
+    "decode_token_intervals",
     "percentile",
 ]

@@ -60,6 +60,20 @@ registry.  On the continuous clock a forward advances through its model-wide
 row axis; its slices are priced positionally
 (:meth:`~repro.model.plan.ModelPlan.span_cycles`), so layer-geometry switches
 pay their refill exactly once wherever the iteration boundaries fall.
+
+Autoregressive decode
+---------------------
+A :class:`~repro.serving.request.DecodeRequest` is the prefill's tail: the
+prompt's K/V is already resident, and only the newly generated row(s) of
+each step stream through the device.  SWAT backends price decodes
+positionally off a :class:`~repro.model.plan.DecodePlan` (the model plan's
+per-layer pipelines laid out block-major along the decode's own row axis,
+memoised per ``(spec, block schedule)``); the GPU and dense-FPGA baselines
+scale their full-context reports to the generated rows — per new token they
+still attend the whole context, which is exactly the KV-cache advantage the
+decode benchmark measures against re-prefilling.  Decode steps are tiny, so
+every ``step_burst`` override prices them closed-form — no looped-``step``
+fallback anywhere on the continuous path.
 """
 
 from __future__ import annotations
@@ -81,9 +95,9 @@ from repro.core.simulator import SWATSimulator
 from repro.gpu.chunked_runner import SlidingChunksAttentionGPU
 from repro.gpu.dense_runner import DenseAttentionGPU
 from repro.model.executor import ModelExecutor
-from repro.model.plan import ModelPlan, ModelPlanCompiler
+from repro.model.plan import DecodePlan, ModelPlan, ModelPlanCompiler, compile_decode_plan
 from repro.serving.cache import PlanCache
-from repro.serving.request import AttentionRequest, ForwardRequest
+from repro.serving.request import AttentionRequest, DecodeRequest, ForwardRequest
 
 __all__ = [
     "BackendResult",
@@ -221,6 +235,7 @@ class AttentionBackend(ABC):
         # and executors (plans + weights) per (spec, weight_seed).
         self._model_plans: "dict[tuple, ModelPlan]" = {}
         self._model_executors: "dict[tuple, ModelExecutor]" = {}
+        self._decode_plans: "dict[tuple, DecodePlan]" = {}
 
     @abstractmethod
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
@@ -265,6 +280,21 @@ class AttentionBackend(ABC):
             )
         return self._model_executors[key]
 
+    def decode_plan(self, request: DecodeRequest) -> DecodePlan:
+        """The compiled :class:`~repro.model.plan.DecodePlan` of ``request``.
+
+        Memoised per ``(spec, block schedule)``: the decode plan lays the
+        model plan's per-layer pipelines block-major along the decode's own
+        row axis, so two decodes of the same model and block schedule share
+        one plan regardless of their prompt lengths.
+        """
+        key = (request.spec.fingerprint(), request.block_schedule)
+        if key not in self._decode_plans:
+            self._decode_plans[key] = compile_decode_plan(
+                self.model_plan(request), request.block_schedule
+            )
+        return self._decode_plans[key]
+
     def _stacked_forward_outputs(
         self,
         forwards: "list[tuple[int, ForwardRequest]]",
@@ -304,6 +334,19 @@ class AttentionBackend(ABC):
         pipelines override it to match their batch timing model.
         """
         return request.head_rows
+
+    def request_work(self, request: AttentionRequest) -> int:
+        """Total work units used to rank ``request`` for SJF admission.
+
+        Defaults to :meth:`request_rows`, which already *is* total work on
+        every backend: an L-layer forward streams all L layers' rows (the
+        model plan's full row axis), and a decode's rows scale with its
+        remaining new tokens.  The SJF ranking audit is pinned by
+        ``tests/serving/test_continuous.py`` — backends whose row axis ever
+        diverges from total work must override this so admission keeps
+        ranking by the work a request actually occupies the device for.
+        """
+        return self.request_rows(request)
 
     def step(
         self, slices: "list[tuple[AttentionRequest, int, int]]", primed: bool
@@ -486,21 +529,27 @@ def batch_head_rows(batch: "list[AttentionRequest]") -> int:
 
 def split_batch(
     batch: "list[AttentionRequest]",
-) -> "tuple[list[tuple[int, AttentionRequest]], list[tuple[int, ForwardRequest]]]":
-    """Partition a dispatch into attention and whole-model forward items.
+) -> (
+    "tuple[list[tuple[int, AttentionRequest]], list[tuple[int, ForwardRequest]],"
+    " list[tuple[int, DecodeRequest]]]"
+):
+    """Partition a dispatch into attention, forward and decode items.
 
-    Returns ``(attentions, forwards)`` as ``(batch_index, request)`` pairs in
-    batch order — the two kinds price through different models, but the
+    Returns ``(attentions, forwards, decodes)`` as ``(batch_index, request)``
+    pairs in batch order — the kinds price through different models, but the
     result tuple must line up with the original batch.
     """
     attentions: "list[tuple[int, AttentionRequest]]" = []
     forwards: "list[tuple[int, ForwardRequest]]" = []
+    decodes: "list[tuple[int, DecodeRequest]]" = []
     for index, request in enumerate(batch):
-        if isinstance(request, ForwardRequest):
+        if isinstance(request, DecodeRequest):
+            decodes.append((index, request))
+        elif isinstance(request, ForwardRequest):
             forwards.append((index, request))
         else:
             attentions.append((index, request))
-    return attentions, forwards
+    return attentions, forwards, decodes
 
 
 def seq_len_groups(
@@ -577,9 +626,11 @@ class _SWATBackendBase(AttentionBackend):
         ``batch_attention_cycles`` formula this path used to price through.
         Each whole-model forward prices off its compiled
         :class:`~repro.model.plan.ModelPlan` — per-layer pipelines, fills at
-        geometry switches, per-layer power hooks.
+        geometry switches, per-layer power hooks.  Each decode prices off its
+        :class:`~repro.model.plan.DecodePlan` — only the new rows stream, the
+        prompt's K/V stays resident.
         """
-        attentions, forwards = split_batch(batch)
+        attentions, forwards, decodes = split_batch(batch)
         cycles = self._stream_cycles(
             sum(self.request_rows(request) for _, request in attentions), primed=False
         )
@@ -590,6 +641,11 @@ class _SWATBackendBase(AttentionBackend):
             cycles += plan.total_cycles
             seconds += plan.total_seconds
             energy += plan.total_energy_joules
+        for _, request in decodes:
+            plan = self.decode_plan(request)
+            cycles += plan.total_cycles
+            seconds += plan.total_seconds
+            energy += self._total_power_w * plan.total_seconds
         return cycles, seconds, energy
 
     @staticmethod
@@ -599,16 +655,24 @@ class _SWATBackendBase(AttentionBackend):
         return num_heads * (traffic["q"] + traffic["k"] + traffic["v"] + traffic["output"])
 
     def _batch_traffic(self, batch: "list[AttentionRequest]") -> int:
-        """Batch traffic: one plan resolution per distinct shape, not per request."""
-        attentions, forwards = split_batch(batch)
+        """Batch traffic: one plan resolution per distinct shape, not per request.
+
+        Decodes count their KV residency traffic — one prompt-cache load plus
+        the new tokens' K/V writes — not a full-context restream.
+        """
+        attentions, forwards, decodes = split_batch(batch)
         attention_requests = [request for _, request in attentions]
-        return sum(
-            self._plan_traffic(
-                self.simulator.resolve_plan(seq_len),
-                sum(request.num_heads for _, request in members),
+        return (
+            sum(
+                self._plan_traffic(
+                    self.simulator.resolve_plan(seq_len),
+                    sum(request.num_heads for _, request in members),
+                )
+                for seq_len, members in seq_len_groups(attention_requests).items()
             )
-            for seq_len, members in seq_len_groups(attention_requests).items()
-        ) + sum(self.model_plan(request).total_kv_bytes for _, request in forwards)
+            + sum(self.model_plan(request).total_kv_bytes for _, request in forwards)
+            + sum(request.kv_traffic_bytes for _, request in decodes)
+        )
 
     # ------------------------------------------------------------------ #
     # Iteration-level pricing (continuous batching)
@@ -625,11 +689,24 @@ class _SWATBackendBase(AttentionBackend):
         the most-loaded replica, so a solo request's per-iteration cycles sum
         bit-exactly to its batch-of-one drain dispatch (fill paid once, heads
         streamed back to back).  A whole-model forward streams that many rows
-        per layer (:attr:`~repro.model.plan.ModelPlan.total_rows`).
+        per layer (:attr:`~repro.model.plan.ModelPlan.total_rows`); a decode
+        streams only its new rows, block-major
+        (:attr:`~repro.model.plan.DecodePlan.total_rows`).
         """
+        if isinstance(request, DecodeRequest):
+            return self.decode_plan(request).total_rows
         if isinstance(request, ForwardRequest):
             return self.model_plan(request).total_rows
         return ceil(request.num_heads / self.config.num_pipelines) * request.seq_len
+
+    def _positional_plan(self, request: AttentionRequest) -> "DecodePlan | ModelPlan | None":
+        """The row-span pricing plan of ``request``, or ``None`` for plain
+        attention slices (which price through the flat stream clock)."""
+        if isinstance(request, DecodeRequest):
+            return self.decode_plan(request)
+        if isinstance(request, ForwardRequest):
+            return self.model_plan(request)
+        return None
 
     def step(
         self, slices: "list[tuple[AttentionRequest, int, int]]", primed: bool
@@ -645,12 +722,12 @@ class _SWATBackendBase(AttentionBackend):
         fill is therefore charged once — the same total
         :meth:`~repro.core.pipeline.SWATPipelineModel.batch_attention_cycles`
         charges for the period's gating rows as one drained batch.  Forward
-        slices are priced positionally along the model's row axis
-        (:meth:`~repro.model.plan.ModelPlan.span_cycles`): their layers' own
-        initiation intervals, with geometry-switch refills charged exactly
-        once wherever the iteration boundaries fall — a solo forward's
-        slices sum bit-exactly to its drained
-        :attr:`~repro.model.plan.ModelPlan.total_cycles`.
+        and decode slices are priced positionally along their plan's row axis
+        (:meth:`~repro.model.plan._RowSpanPricing.span_cycles`): their
+        segments' own initiation intervals, with geometry-switch refills
+        charged exactly once wherever the iteration boundaries fall — a solo
+        forward's (or decode's) slices sum bit-exactly to its drained
+        ``total_cycles``.
         """
         if not slices:
             raise ValueError("an iteration needs at least one resident slice")
@@ -659,10 +736,9 @@ class _SWATBackendBase(AttentionBackend):
         for request, rows_done, rows in slices:
             if rows <= 0:
                 raise ValueError(f"slice rows must be positive, got {rows}")
-            if isinstance(request, ForwardRequest):
-                slice_cycles = self.model_plan(request).span_cycles(
-                    rows_done, rows_done + rows, primed
-                )
+            plan = self._positional_plan(request)
+            if plan is not None:
+                slice_cycles = plan.span_cycles(rows_done, rows_done + rows, primed)
             else:
                 slice_cycles = self._stream_cycles(rows, primed)
             if slice_cycles > cycles:
@@ -685,16 +761,17 @@ class _SWATBackendBase(AttentionBackend):
         """Closed-form SWAT burst: the pipeline streams one row per II.
 
         With the resident set fixed, every iteration before the last
-        advances exactly ``iteration_rows`` gating rows, so the burst is
-        ``[fill-or-primed first, (K - 2) primed full slices, one primed
-        remainder]`` — a handful of array ops instead of ``K`` Python-loop
-        ``step`` calls, bit-identical entry for entry.  Whole-model forwards
-        are priced positionally (their layers' own pipelines), which has no
-        closed form here — a burst containing one falls back to the looped
-        default.
+        advances exactly ``iteration_rows`` gating rows, so an attention-only
+        burst is ``[fill-or-primed first, (K - 2) primed full slices, one
+        primed remainder]`` — a handful of array ops instead of ``K``
+        Python-loop ``step`` calls, bit-identical entry for entry.  Forward
+        and decode slices are priced positionally, and their closed form is
+        :meth:`~repro.model.plan._RowSpanPricing.span_cycles_batch`: one
+        cycle row per resident (cumulative-cost differences off the plan's
+        prefix sums), with ``np.argmax`` down the slice axis reproducing the
+        reference loop's first-strict-max gating — no looped-``step``
+        fallback on any slice kind.
         """
-        if any(isinstance(request, ForwardRequest) for request, _, _ in slices):
-            return super().step_burst(slices, primed, iteration_rows)
         if not slices:
             raise ValueError("a burst needs at least one resident slice")
         min_remaining = min(rows_left for _, _, rows_left in slices)
@@ -702,14 +779,48 @@ class _SWATBackendBase(AttentionBackend):
             raise ValueError(f"remaining rows must be positive, got {min_remaining}")
         iterations = -(-min_remaining // iteration_rows)
         streamed = (iterations - 1) * iteration_rows
-        last_rows = max(
-            min(iteration_rows, rows_left - streamed) for _, _, rows_left in slices
-        )
+        plans = [self._positional_plan(request) for request, _, _ in slices]
+        if all(plan is None for plan in plans):
+            last_rows = max(
+                min(iteration_rows, rows_left - streamed) for _, _, rows_left in slices
+            )
+            gate_rows = np.full(iterations, iteration_rows, dtype=np.int64)
+            gate_rows[-1] = last_rows
+            cycles = gate_rows * self._initiation_interval
+            if not primed:
+                cycles[0] = self.simulator.pipeline.cycles_for_rows(int(gate_rows[0]))
+            seconds = cycles * self._clock_period_s
+            return StepBurst(
+                seconds=seconds,
+                cycles=cycles,
+                energy_joules=self._total_power_w * seconds,
+                gate_rows=gate_rows,
+                iterations=iterations,
+            )
+        cycle_rows = np.empty((len(slices), iterations), dtype=np.int64)
+        last_slice_rows = np.empty(len(slices), dtype=np.int64)
+        for index, ((_, rows_done, rows_left), plan) in enumerate(zip(slices, plans)):
+            last_slice_rows[index] = min(iteration_rows, rows_left - streamed)
+            if plan is None:
+                row = cycle_rows[index]
+                row[:] = iteration_rows * self._initiation_interval
+                row[-1] = last_slice_rows[index] * self._initiation_interval
+                if not primed:
+                    # For a one-iteration burst this overwrites the remainder
+                    # entry: a cold slice prices the fill, exactly as the
+                    # reference loop's first iteration does.
+                    row[0] = self.simulator.pipeline.cycles_for_rows(
+                        min(iteration_rows, rows_left)
+                    )
+            else:
+                boundaries = rows_done + np.minimum(
+                    np.arange(iterations + 1, dtype=np.int64) * iteration_rows, rows_left
+                )
+                cycle_rows[index] = plan.span_cycles_batch(boundaries, primed)
+        gate_index = np.argmax(cycle_rows, axis=0)
+        cycles = cycle_rows[gate_index, np.arange(iterations)]
         gate_rows = np.full(iterations, iteration_rows, dtype=np.int64)
-        gate_rows[-1] = last_rows
-        cycles = gate_rows * self._initiation_interval
-        if not primed:
-            cycles[0] = self.simulator.pipeline.cycles_for_rows(int(gate_rows[0]))
+        gate_rows[-1] = int(last_slice_rows[gate_index[-1]])
         seconds = cycles * self._clock_period_s
         return StepBurst(
             seconds=seconds,
@@ -750,7 +861,7 @@ class SimulatorBackend(_SWATBackendBase):
         """
         outputs: "list[np.ndarray | None]" = [None] * len(batch)
         bytes_moved = 0
-        attentions, forwards = split_batch(batch)
+        attentions, forwards, decodes = split_batch(batch)
         for seq_len, members in indexed_seq_len_groups(attentions).items():
             plan = self.simulator.resolve_plan(seq_len)
             bytes_moved += self._plan_traffic(
@@ -767,6 +878,10 @@ class SimulatorBackend(_SWATBackendBase):
                 outputs[index] = output
         for _, request in forwards:
             bytes_moved += self.model_plan(request).total_kv_bytes
+        for _, request in decodes:
+            # Analytical decode: one prompt-KV load plus the new tokens'
+            # K/V writes — no functional output is modelled.
+            bytes_moved += request.kv_traffic_bytes
         self._stacked_forward_outputs(forwards, outputs)
         return tuple(outputs), bytes_moved
 
@@ -850,7 +965,9 @@ class FusedSoftwareBackend(AttentionBackend):
         start = time.perf_counter()
         outputs: "list[np.ndarray | None]" = [None] * len(batch)
         scale = 1.0 / np.sqrt(self.config.head_dim)
-        attentions, forwards = split_batch(batch)
+        # Decodes carry no functional payload; they only contribute their
+        # accounted head_rows to the measured-host-time dispatch.
+        attentions, forwards, _decodes = split_batch(batch)
         self._stacked_forward_outputs(forwards, outputs)
         for seq_len, members in indexed_seq_len_groups(attentions).items():
             functional = [(index, request) for index, request in members if request.is_functional]
@@ -930,6 +1047,30 @@ class _GPUBackendBase(AttentionBackend):
             self._step_reports[key] = self._runner_run_batch(seq_len, num_heads)
         return self._step_reports[key]
 
+    def _report_items(self, request: AttentionRequest) -> int:
+        """Kernel instances of the request's full-context shape report.
+
+        A decode's report is its *context* shape — ``L x H`` kernels at the
+        final ``seq_len``, exactly the re-prefill it avoids — so the KV-cache
+        advantage falls out of the rate division below, not a separate model.
+        """
+        if isinstance(request, DecodeRequest):
+            return request.num_layers * request.num_heads
+        return request.head_rows // request.seq_len
+
+    def _rate_rows(self, request: AttentionRequest) -> int:
+        """Row denominator of the per-row rate: the report's own row count.
+
+        For attention and forward requests that is :meth:`request_rows`
+        (their report covers exactly their rows).  A decode's full-context
+        report covers ``L x H x seq_len`` rows but the decode only streams
+        one query row per new token per layer-head — each generated row costs
+        a ``1 / seq_len`` share of the report, the dense-GPU KV-cache model.
+        """
+        if isinstance(request, DecodeRequest):
+            return request.num_layers * request.num_heads * request.seq_len
+        return self.request_rows(request)
+
     def step(
         self, slices: "list[tuple[AttentionRequest, int, int]]", primed: bool
     ) -> StepCost:
@@ -953,10 +1094,8 @@ class _GPUBackendBase(AttentionBackend):
         for request, _rows_done, rows in slices:
             if rows <= 0:
                 raise ValueError(f"slice rows must be positive, got {rows}")
-            report = self._shape_report(
-                request.seq_len, request.head_rows // request.seq_len
-            )
-            total_rows = self.request_rows(request)
+            report = self._shape_report(request.seq_len, self._report_items(request))
+            total_rows = self._rate_rows(request)
             slice_seconds = report.seconds * rows / total_rows
             if slice_seconds > gate_seconds:
                 gate_seconds = slice_seconds
@@ -988,12 +1127,12 @@ class _GPUBackendBase(AttentionBackend):
             raise ValueError(f"remaining rows must be positive, got {int(remaining.min())}")
         iterations = -(-int(remaining.min()) // iteration_rows)
         reports = [
-            self._shape_report(request.seq_len, request.head_rows // request.seq_len)
+            self._shape_report(request.seq_len, self._report_items(request))
             for request, _, _ in slices
         ]
         rate_seconds = np.array([report.seconds for report in reports])
         rate_energy = np.array([report.energy_joules for report in reports])
-        totals = np.array([self.request_rows(request) for request, _, _ in slices], dtype=np.int64)
+        totals = np.array([self._rate_rows(request) for request, _, _ in slices], dtype=np.int64)
 
         def price(rows):
             # Reference op order per slice: multiply by rows, then divide.
@@ -1026,7 +1165,9 @@ class _GPUBackendBase(AttentionBackend):
     def execute_batch(self, batch: "list[AttentionRequest]") -> BackendResult:
         seconds = 0.0
         energy = 0.0
-        for seq_len, members in seq_len_groups(batch).items():
+        decodes = [request for request in batch if isinstance(request, DecodeRequest)]
+        others = [request for request in batch if not isinstance(request, DecodeRequest)]
+        for seq_len, members in seq_len_groups(others).items():
             # B x H instances per attention request, L x H per whole-model
             # forward — all layers of a forward fold into the shape's one
             # batched kernel stream.
@@ -1034,6 +1175,13 @@ class _GPUBackendBase(AttentionBackend):
             report = self._runner_run_batch(seq_len, items)
             seconds += report.seconds
             energy += report.energy_joules
+        for request in decodes:
+            # Same rate model as the continuous clock: the full-context
+            # report scaled to the generated rows' share.
+            report = self._shape_report(request.seq_len, self._report_items(request))
+            rate = self._rate_rows(request)
+            seconds += report.seconds * request.head_rows / rate
+            energy += report.energy_joules * request.head_rows / rate
         return BackendResult(
             outputs=(None,) * len(batch),
             device_seconds=seconds,
@@ -1116,13 +1264,20 @@ class DenseFPGABackend(AttentionBackend):
 
         A whole-model forward runs one dense attention per layer (the
         baseline ignores schedule geometry — it attends everything), so its
-        cycles are ``num_layers`` times the per-layer report.
+        cycles are ``num_layers`` times the per-layer report.  A decode's
+        new tokens each attend the full context but compute only their own
+        query row, so its cycles are the full-context forward's scaled to
+        ``new_tokens / seq_len`` (rounded up to keep the clock integral) —
+        one total every pricing path (step, burst, drain) shares.
         """
         key = (request.seq_len, request.num_heads)
         if key not in self._step_cycles:
             self._step_cycles[key] = self.baseline.run(
                 request.seq_len, num_heads=request.num_heads
             ).cycles
+        if isinstance(request, DecodeRequest):
+            full = request.num_layers * self._step_cycles[key]
+            return -(-full * request.new_tokens // request.seq_len)
         layers = request.num_layers if isinstance(request, ForwardRequest) else 1
         return layers * self._step_cycles[key]
 

@@ -18,6 +18,13 @@ The cached schedule is deterministic — the random-attention table is a
 design-time parameter fixed by ``config.random_seed`` — so a cache hit is
 bit-identical to a rebuild, which the test-suite asserts end to end on
 :class:`~repro.core.simulator.SimulationResult.output`.
+
+:class:`KVResidency` is the decode-serving counterpart: a per-request K/V
+residency model the continuous engine drives — one miss when a decode's
+prompt cache loads at admission, one hit per subsequent decode step against
+the resident K/V, released at retirement.  It is an accounting model (no
+data, no eviction): deterministic counters and a peak-bytes watermark that
+surface through :class:`~repro.serving.stats.ServingStats`.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from repro.core.scheduler import RowMajorScheduler, RowPlan
 from repro.telemetry.bus import NULL_BUS
 from repro.telemetry.events import PlanCacheLookup
 
-__all__ = ["config_fingerprint", "CachedPlan", "PlanCache"]
+__all__ = ["config_fingerprint", "CachedPlan", "KVResidency", "PlanCache"]
 
 
 def config_fingerprint(config: SWATConfig) -> "tuple[object, ...]":
@@ -165,3 +172,73 @@ class PlanCache:
                 "evictions": self.evictions,
                 "entries": len(self._entries),
             }
+
+
+class KVResidency:
+    """Per-request K/V residency accounting for decode serving.
+
+    The continuous engine drives three calls per decode:
+
+    * :meth:`admit` when the request is admitted — the prompt's K/V loads
+      into device memory (one *miss*), and the request's final-context bytes
+      become resident;
+    * :meth:`touch` at retirement, once per decode step after the first —
+      every step re-reads the resident K/V instead of re-prefilling (one
+      *hit* per step);
+    * :meth:`release` at retirement — the bytes leave residency.
+
+    No data is held and nothing is evicted: the model assumes device memory
+    fits the trace's working set, and the point is the deterministic
+    hit/miss split and the ``peak_bytes`` watermark (both scheduler-order
+    independent for a fixed trace, so they stay bit-identical between the
+    event and reference schedulers).
+    """
+
+    def __init__(self):
+        self._resident: "dict[int, int]" = {}
+        self.hits = 0
+        self.misses = 0
+        self.resident_bytes = 0
+        self.peak_bytes = 0
+
+    def admit(self, request_id: int, resident_bytes: int) -> None:
+        """Load a decode's prompt K/V and pin its final-context bytes."""
+        if request_id in self._resident:
+            raise ValueError(f"request {request_id} is already resident")
+        if resident_bytes < 0:
+            raise ValueError(f"resident bytes must be non-negative, got {resident_bytes}")
+        self._resident[request_id] = resident_bytes
+        self.misses += 1
+        self.resident_bytes += resident_bytes
+        if self.resident_bytes > self.peak_bytes:
+            self.peak_bytes = self.resident_bytes
+
+    def touch(self, request_id: int, steps: int) -> None:
+        """Count ``steps`` decode steps served against the resident K/V."""
+        if request_id not in self._resident:
+            raise ValueError(f"request {request_id} is not resident")
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        self.hits += steps
+
+    def release(self, request_id: int) -> None:
+        """Retire a decode: its K/V leaves device residency."""
+        resident = self._resident.pop(request_id, None)
+        if resident is None:
+            raise ValueError(f"request {request_id} is not resident")
+        self.resident_bytes -= resident
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of K/V lookups served by residency (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> "dict[str, int]":
+        """Snapshot: hits, misses, current and peak resident bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "resident_bytes": self.resident_bytes,
+            "peak_bytes": self.peak_bytes,
+        }

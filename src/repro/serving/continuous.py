@@ -82,22 +82,24 @@ import numpy as np
 from repro.core.config import SWATConfig
 from repro.core.pipeline import SWATPipelineModel
 from repro.serving.backends import REGISTRY, batch_head_rows, create_backend
-from repro.serving.cache import PlanCache
+from repro.serving.cache import KVResidency, PlanCache
 from repro.serving.engine import ServingResult
 from repro.serving.request import (
     AttentionRequest,
     CompletedRequest,
+    DecodeRequest,
     bursty_arrivals,
     diurnal_arrivals,
     poisson_arrivals,
 )
-from repro.serving.stats import ServingStats, percentile
+from repro.serving.stats import ServingStats, decode_token_intervals, percentile
 from repro.telemetry.bus import NULL_BUS
 from repro.telemetry.events import (
     IterationAdvanced,
     QueueDepth,
     RequestAdmitted,
     RequestArrived,
+    RequestDecoded,
     RequestRetired,
     RunFinished,
     RunStarted,
@@ -180,6 +182,13 @@ class InFlightRequest:
     #: iteration's duration is counted for each of its residents — they
     #: share the clock, not split it).
     device_seconds: float = 0.0
+    #: Decode requests only: cumulative row offsets at which each decode
+    #: block finalises (last entry equals ``rows_total``); ``None`` for
+    #: prefill/attention requests.
+    token_boundaries: "tuple[int, ...] | None" = None
+    #: Decode requests only: simulated clock instant each block completed,
+    #: appended as the row stream crosses ``token_boundaries``.
+    block_times: "list[float] | None" = None
 
     @property
     def remaining_rows(self) -> int:
@@ -229,11 +238,20 @@ class ContinuousBatcher:
 
     ``policy`` decides which *arrived* waiting request a free slot takes:
     ``"fcfs"`` admits in arrival order, ``"sjf"`` (shortest-job-first) the
-    arrived request with the fewest backend row-work units — ties broken by
+    arrived request with the least *total backend work*
+    (:meth:`~repro.serving.backends.AttentionBackend.request_work`: an
+    L-layer forward ranks at all L layers' rows, a decode at the rows of its
+    remaining new tokens — audited against the per-kind row models, so a
+    forward never ranks as if it were one layer) — ties broken by
     ``(arrival_time, request_id)``, so the schedule stays deterministic and
     degenerates to FCFS on uniform-length traffic.  Under bursty mixed-length
     load SJF stops a long request from parking ahead of a queue of short
     ones, cutting p95 latency (the seeded A/B test in the suite).
+
+    ``kv_residency`` (a :class:`~repro.serving.cache.KVResidency`) tracks
+    decode K/V: admitted decodes pin their final-context bytes (one miss for
+    the prompt load), retirement counts one hit per post-first block and
+    releases the bytes.
     """
 
     def __init__(
@@ -242,6 +260,7 @@ class ContinuousBatcher:
         num_shards: int = 1,
         admission: str = "continuous",
         policy: str = "fcfs",
+        kv_residency: "KVResidency | None" = None,
     ):
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -255,6 +274,7 @@ class ContinuousBatcher:
         self.num_shards = num_shards
         self.admission = admission
         self.policy = policy
+        self.kv_residency = kv_residency
         from collections import deque
 
         self._waiting: "deque[AttentionRequest]" = deque()
@@ -297,12 +317,12 @@ class ContinuousBatcher:
             return 0
         return self.max_batch_size - resident
 
-    def _pop_next(self, now: float, rows_of) -> "AttentionRequest | None":
+    def _pop_next(self, now: float, work_of) -> "AttentionRequest | None":
         """Remove and return the next admissible waiting request, if any.
 
         The queue is kept in ``(arrival_time, request_id)`` order, so the
         arrived candidates are its leading run.  FCFS takes the front; SJF
-        scans that run for the smallest ``(rows_of, arrival_time, id)``.
+        scans that run for the smallest ``(work_of, arrival_time, id)``.
         """
         if not self._waiting or self._waiting[0].arrival_time > now:
             return None
@@ -313,24 +333,28 @@ class ContinuousBatcher:
         for index, request in enumerate(self._waiting):
             if request.arrival_time > now:
                 break
-            key = (rows_of(request), request.arrival_time, request.request_id)
+            key = (work_of(request), request.arrival_time, request.request_id)
             if best_key is None or key < best_key:
                 best_index, best_key = index, key
         request = self._waiting[best_index]
         del self._waiting[best_index]
         return request
 
-    def admit(self, shard: int, now: float, rows_of) -> "list[InFlightRequest]":
+    def admit(self, shard: int, now: float, rows_of, work_of=None) -> "list[InFlightRequest]":
         """Admit arrived waiting requests into ``shard``'s free slots.
 
         ``rows_of`` maps a request to its total row-work on the serving
-        backend (also the SJF job-size key).  Returns the newly admitted
-        in-flight records; occupancy never exceeds ``max_batch_size``.
+        backend (how many rows it must stream before retiring); ``work_of``
+        is the SJF job-size ranking key
+        (:meth:`~repro.serving.backends.AttentionBackend.request_work`) and
+        defaults to ``rows_of`` — on every current backend the two coincide.
+        Returns the newly admitted in-flight records; occupancy never
+        exceeds ``max_batch_size``.
         """
         admitted: "list[InFlightRequest]" = []
         slots = self.free_slots(shard)
         while slots > 0:
-            request = self._pop_next(now, rows_of)
+            request = self._pop_next(now, work_of if work_of is not None else rows_of)
             if request is None:
                 break
             slots -= 1
@@ -342,6 +366,21 @@ class ContinuousBatcher:
                 admission_id=self._admission_ids,
                 residency_at_admit=len(self.running[shard]) + 1,
             )
+            if isinstance(request, DecodeRequest):
+                # The decode's row axis is uniform per token on every
+                # backend, so block boundaries sit at cumulative-token
+                # multiples of the per-token row count.
+                per_token = inflight.rows_total // request.new_tokens
+                boundaries = []
+                tokens_done = 0
+                for size in request.block_schedule:
+                    tokens_done += size
+                    boundaries.append(tokens_done * per_token)
+                boundaries[-1] = inflight.rows_total
+                inflight.token_boundaries = tuple(boundaries)
+                inflight.block_times = []
+                if self.kv_residency is not None:
+                    self.kv_residency.admit(request.request_id, request.kv_resident_bytes)
             self._admission_ids += 1
             self.running[shard].append(inflight)
             admitted.append(inflight)
@@ -355,7 +394,12 @@ class ContinuousBatcher:
         ]
 
     def retire_finished(self, shard: int, now: float) -> "list[InFlightRequest]":
-        """Remove finished residents, stamping their completion instant."""
+        """Remove finished residents, stamping their completion instant.
+
+        Retiring a decode settles its KV residency: every block after the
+        first re-read the resident cache (one hit each), and the request's
+        bytes leave device memory.
+        """
         retired = [inflight for inflight in self.running[shard] if inflight.finished]
         if retired:
             self.running[shard] = [
@@ -363,6 +407,10 @@ class ContinuousBatcher:
             ]
             for inflight in retired:
                 inflight.finish_time = now
+                request = inflight.request
+                if inflight.token_boundaries is not None and self.kv_residency is not None:
+                    self.kv_residency.touch(request.request_id, len(request.block_schedule) - 1)
+                    self.kv_residency.release(request.request_id)
         return retired
 
 
@@ -375,6 +423,7 @@ class _RunState:
         "clocks",
         "primed",
         "rows_of",
+        "work_of",
         "iteration_rows",
         "max_batch_size",
         "bus",
@@ -385,6 +434,10 @@ class _RunState:
         "num_iterations",
         "completed",
         "total_energy",
+        "num_decode",
+        "decode_tokens",
+        "ttfts",
+        "token_gaps",
     )
 
     def __init__(
@@ -402,6 +455,7 @@ class _RunState:
         self.clocks = [ServingClock() for _ in range(batcher.num_shards)]
         self.primed = [False] * batcher.num_shards
         self.rows_of = shards[0].request_rows
+        self.work_of = shards[0].request_work
         self.iteration_rows = iteration_rows
         self.max_batch_size = max_batch_size
         self.bus = bus
@@ -414,6 +468,10 @@ class _RunState:
         self.num_iterations = 0
         self.completed: "list[CompletedRequest]" = []
         self.total_energy = 0.0
+        self.num_decode = 0
+        self.decode_tokens = 0
+        self.ttfts: "list[float]" = []
+        self.token_gaps: "list[float]" = []
 
 
 def _occupancy_mean(counts: "Counter[float]") -> float:
@@ -459,6 +517,13 @@ def serve_continuous(
     :class:`~repro.serving.request.ForwardRequest`\\ s ride the same clock:
     their slices advance along the compiled model's row axis
     (layer-iteration granularity), priced positionally by the backend.
+    :class:`~repro.serving.request.DecodeRequest`\\ s ride it too — only
+    their new rows stream (prompt K/V resident, tracked by a per-run
+    :class:`~repro.serving.cache.KVResidency`), block completions are
+    stamped on the simulated clock as the row stream crosses token
+    boundaries, and the run's TTFT / inter-token / tokens-per-sec stats fold
+    from those stamps — so mixed prefill+decode traces run through this one
+    entry point unchanged.
 
     ``scheduler`` selects the implementation: ``"event"`` (default) skips
     ahead between scheduling events and prices whole iteration bursts with
@@ -532,8 +597,13 @@ def serve_continuous(
                 )
             )
 
+    kv_residency = KVResidency()
     batcher = ContinuousBatcher(
-        max_batch_size, num_shards=num_shards, admission=admission, policy=policy
+        max_batch_size,
+        num_shards=num_shards,
+        admission=admission,
+        policy=policy,
+        kv_residency=kv_residency,
     )
     batcher.submit(list(requests))
     state = _RunState(
@@ -579,6 +649,14 @@ def serve_continuous(
         queue_p95_seconds=percentile(queue_waits, 95.0),
         latency_p50_seconds=percentile(latencies, 50.0),
         latency_p95_seconds=percentile(latencies, 95.0),
+        num_decode_requests=state.num_decode,
+        decode_tokens=state.decode_tokens,
+        kv_hits=kv_residency.hits,
+        kv_misses=kv_residency.misses,
+        ttft_p50_seconds=percentile(state.ttfts, 50.0),
+        ttft_p95_seconds=percentile(state.ttfts, 95.0),
+        inter_token_p50_seconds=percentile(state.token_gaps, 50.0),
+        inter_token_p95_seconds=percentile(state.token_gaps, 95.0),
     )
     if bus.active:
         bus.emit(RunFinished(wall_seconds=wall_seconds, stats=stats.to_dict(), run_id=run_id))
@@ -609,7 +687,7 @@ def _reference_loop(state: _RunState) -> None:
             next_arrival = batcher.next_arrival_time()
             if next_arrival is not None:
                 clock.jump_to(next_arrival)
-        admitted = batcher.admit(shard, clock.now, state.rows_of)
+        admitted = batcher.admit(shard, clock.now, state.rows_of, work_of=state.work_of)
         residents = batcher.running[shard]
         if not residents:  # pragma: no cover - defensive; admit() always lands one
             continue
@@ -626,12 +704,15 @@ def _reference_loop(state: _RunState) -> None:
         for inflight, rows in slices:
             inflight.rows_done += rows
             inflight.device_seconds += cost.seconds
+            if inflight.token_boundaries is not None:
+                _mark_blocks(inflight, clock.now)
         retired = batcher.retire_finished(shard, clock.now)
         outputs = _retirement_outputs(state.shards[shard], retired)
         for inflight, output in zip(retired, outputs):
             state.completed.append(_completion(inflight, output))
+            _fold_decode(state, inflight)
             if bus.active:
-                bus.emit(_retired_event(inflight, run_id=state.run_id))
+                _emit_retired(state, inflight)
         index = state.num_iterations
         state.num_iterations += 1
         occupancy = len(slices) / state.max_batch_size
@@ -717,6 +798,7 @@ def _event_loop(state: _RunState) -> None:
     shards = state.shards
     primed = state.primed
     rows_of = state.rows_of
+    work_of = state.work_of
     bus = state.bus
     record = state.record_iterations
     occupancy_counts = state.occupancy_counts
@@ -752,7 +834,7 @@ def _event_loop(state: _RunState) -> None:
             if next_arrival is not None:
                 clock.jump_to(next_arrival)
         head_before = next_arrival_time()
-        admitted = admit(shard, clock.now, rows_of)
+        admitted = admit(shard, clock.now, rows_of, work_of=work_of)
         residents = running[shard]
         if not residents:  # pragma: no cover - defensive; admit() always lands one
             push(shard)
@@ -806,6 +888,8 @@ def _event_loop(state: _RunState) -> None:
             for inflight in residents:
                 inflight.rows_done += min(quantum, inflight.rows_total - inflight.rows_done)
                 inflight.device_seconds += seconds0
+                if inflight.token_boundaries is not None:
+                    _mark_blocks(inflight, clock.now)
         else:
             durations = burst.seconds[:length]
             clock.now = float(times[length])
@@ -820,8 +904,11 @@ def _event_loop(state: _RunState) -> None:
             np.cumsum(device, axis=1, out=device)
             advanced = length * quantum
             for index, inflight in enumerate(residents):
+                start_rows = inflight.rows_done
                 inflight.rows_done += min(advanced, inflight.rows_total - inflight.rows_done)
                 inflight.device_seconds = float(device[index, length])
+                if inflight.token_boundaries is not None:
+                    _mark_blocks_burst(inflight, start_rows, times, quantum)
         occupancy = len(residents) / max_batch_size
         occupancy_counts[occupancy] += length
         base_index = state.num_iterations
@@ -840,6 +927,7 @@ def _event_loop(state: _RunState) -> None:
             outputs = _retirement_outputs(shards[shard], retired)
             for inflight, output in zip(retired, outputs):
                 completed.append(_completion(inflight, output))
+                _fold_decode(state, inflight)
         if slow:
             _record_iterations(
                 state, shard, burst_slices, burst, length, times, occupancy,
@@ -935,7 +1023,7 @@ def _record_iterations(
         if bus.active:
             if final:
                 for inflight in retired:
-                    bus.emit(_retired_event(inflight, run_id=state.run_id))
+                    _emit_retired(state, inflight)
             bus.emit(
                 IterationAdvanced(
                     index=base_index + index,
@@ -976,6 +1064,67 @@ def _emit_admissions(state: _RunState, shard: int, admitted, queue_depth: int, n
             )
         )
     state.bus.emit(QueueDepth(depth=queue_depth, time=now, run_id=state.run_id))
+
+
+def _mark_blocks(inflight: InFlightRequest, now: float) -> None:
+    """Stamp every decode block the request's row stream just crossed.
+
+    Called after an iteration advanced ``rows_done``: a block completes at
+    the end of the iteration that streams past its boundary, so its time is
+    the advanced clock.
+    """
+    boundaries = inflight.token_boundaries
+    times = inflight.block_times
+    while len(times) < len(boundaries) and inflight.rows_done >= boundaries[len(times)]:
+        times.append(now)
+
+
+def _mark_blocks_burst(
+    inflight: InFlightRequest, start_rows: int, times, quantum: int
+) -> None:
+    """Burst-path block stamping: boundaries map to burst iteration ends.
+
+    ``times`` is the burst's cumulative clock (``times[j]`` is the end of
+    iteration ``j``), already carrying the reference loop's exact bits, so a
+    boundary crossed in iteration ``j`` gets the identical completion time
+    the reference loop would stamp.
+    """
+    boundaries = inflight.token_boundaries
+    blocks = inflight.block_times
+    while len(blocks) < len(boundaries) and inflight.rows_done >= boundaries[len(blocks)]:
+        iteration = -(-(boundaries[len(blocks)] - start_rows) // quantum)
+        blocks.append(float(times[iteration]))
+
+
+def _fold_decode(state: _RunState, inflight: InFlightRequest) -> None:
+    """Fold one retired decode's per-token accounting into the run state."""
+    if inflight.token_boundaries is None:
+        return
+    request = inflight.request
+    state.num_decode += 1
+    state.decode_tokens += request.new_tokens
+    ttft, gaps = decode_token_intervals(
+        tuple(inflight.block_times), request.block_schedule, request.arrival_time
+    )
+    state.ttfts.append(ttft)
+    state.token_gaps.extend(gaps)
+
+
+def _emit_retired(state: _RunState, inflight: InFlightRequest) -> None:
+    """Emit one retirement's events: decode accounting first, then retired."""
+    if inflight.token_boundaries is not None:
+        request = inflight.request
+        state.bus.emit(
+            RequestDecoded(
+                request_id=request.request_id,
+                new_tokens=request.new_tokens,
+                block_sizes=request.block_schedule,
+                block_times=tuple(inflight.block_times),
+                arrival_time=request.arrival_time,
+                run_id=state.run_id,
+            )
+        )
+    state.bus.emit(_retired_event(inflight, run_id=state.run_id))
 
 
 def _completion(inflight: InFlightRequest, output) -> CompletedRequest:

@@ -34,6 +34,19 @@ shape) and priced/executed end to end:
 .. code-block:: console
 
     $ repro-serve --model --model-layers 8 --backend simulator --requests 16
+
+``--decode-every k`` turns every ``k``-th request into an autoregressive
+:class:`~repro.serving.request.DecodeRequest` — ``--decode-tokens`` new
+tokens generated against a resident K/V cache — so mixed prefill+decode
+traces run through either engine unchanged and the table gains TTFT,
+inter-token latency, tokens/sec and the KV-residency hit rate.
+``--decode-block`` prices diffusion-style block decode (``--decode-adaptive``
+ramps the block width 1, 2, 4, ...):
+
+.. code-block:: console
+
+    $ repro-serve --mode continuous --decode-every 2 --decode-tokens 32
+    $ repro-serve --mode continuous --decode-every 2 --decode-block 8 --decode-adaptive
 """
 
 from __future__ import annotations
@@ -55,7 +68,7 @@ from repro.serving.continuous import (
     swat_request_rate,
 )
 from repro.serving.engine import ServingEngine, ServingResult
-from repro.serving.request import make_forward_request, make_requests
+from repro.serving.request import make_decode_request, make_forward_request, make_requests
 
 __all__ = ["build_parser", "main"]
 
@@ -138,6 +151,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="attention heads per layer in --model mode (default: 2)",
     )
     parser.add_argument(
+        "--decode-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="turn every K-th request into an autoregressive decode against "
+        "a resident K/V cache (default: 0 = prefill-only trace)",
+    )
+    parser.add_argument(
+        "--decode-tokens",
+        type=int,
+        default=16,
+        help="tokens generated per decode request (default: 16)",
+    )
+    parser.add_argument(
+        "--decode-block",
+        type=int,
+        default=1,
+        help="tokens finalized per decode step; k > 1 prices diffusion-style "
+        "block decode (default: 1 = classic autoregression)",
+    )
+    parser.add_argument(
+        "--decode-adaptive",
+        action="store_true",
+        help="ramp the decode block width 1, 2, 4, ... up to --decode-block",
+    )
+    parser.add_argument(
         "--policy",
         default="fcfs",
         choices=QUEUE_POLICIES,
@@ -186,36 +225,66 @@ def _request_seq_lens(args) -> "list[int]":
     return [args.seq_lens[index % len(args.seq_lens)] for index in range(args.requests)]
 
 
+def _decode_spec(args, config: SWATConfig, seq_len: int) -> ModelSpec:
+    """The served-model spec a demo decode request runs against."""
+    return ModelSpec.uniform(
+        args.model_layers if args.model else 1,
+        seq_len,
+        window_tokens=args.window_tokens,
+        num_heads=args.model_heads if args.model else 1,
+        head_dim=config.head_dim,
+    )
+
+
+def _mix_in_decodes(args, config: SWATConfig, requests, arrival_times):
+    """Replace every ``--decode-every``-th request with a decode request."""
+    if args.decode_every <= 0:
+        return requests
+    for index in range(args.decode_every - 1, len(requests), args.decode_every):
+        seq_len = requests[index].seq_len
+        requests[index] = make_decode_request(
+            _decode_spec(args, config, seq_len),
+            new_tokens=min(args.decode_tokens, seq_len - 1),
+            block_size=args.decode_block,
+            adaptive=args.decode_adaptive,
+            arrival_time=arrival_times[index] if arrival_times is not None else 0.0,
+        )
+    return requests
+
+
 def _build_requests(args, config: SWATConfig, functional: bool, arrival_times=None):
-    """The demo's request mix: attentions, or whole-model forwards (--model)."""
+    """The demo's request mix: attentions or whole-model forwards, with
+    every ``--decode-every``-th slot swapped for an autoregressive decode."""
     seq_lens = _request_seq_lens(args)
     if not args.model:
-        return make_requests(
+        requests = make_requests(
             seq_lens,
             config.head_dim,
             seed=args.seed,
             functional=functional,
             arrival_times=arrival_times,
         )
-    specs = {
-        seq_len: ModelSpec.uniform(
-            args.model_layers,
-            seq_len,
-            window_tokens=args.window_tokens,
-            num_heads=args.model_heads,
-            head_dim=config.head_dim,
-        )
-        for seq_len in set(seq_lens)
-    }
-    return [
-        make_forward_request(
-            specs[seq_len],
-            seed=args.seed + index,
-            functional=functional,
-            arrival_time=arrival_times[index] if arrival_times is not None else 0.0,
-        )
-        for index, seq_len in enumerate(seq_lens)
-    ]
+    else:
+        specs = {
+            seq_len: ModelSpec.uniform(
+                args.model_layers,
+                seq_len,
+                window_tokens=args.window_tokens,
+                num_heads=args.model_heads,
+                head_dim=config.head_dim,
+            )
+            for seq_len in set(seq_lens)
+        }
+        requests = [
+            make_forward_request(
+                specs[seq_len],
+                seed=args.seed + index,
+                functional=functional,
+                arrival_time=arrival_times[index] if arrival_times is not None else 0.0,
+            )
+            for index, seq_len in enumerate(seq_lens)
+        ]
+    return _mix_in_decodes(args, config, requests, arrival_times)
 
 
 def _serve(
@@ -347,6 +416,12 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(f"--model-layers must be positive, got {args.model_layers}")
     if args.model_heads <= 0:
         parser.error(f"--model-heads must be positive, got {args.model_heads}")
+    if args.decode_every < 0:
+        parser.error(f"--decode-every must be non-negative, got {args.decode_every}")
+    if args.decode_tokens <= 0:
+        parser.error(f"--decode-tokens must be positive, got {args.decode_tokens}")
+    if args.decode_block <= 0:
+        parser.error(f"--decode-block must be positive, got {args.decode_block}")
     if args.mode == "continuous" and not REGISTRY.backend_class(args.backend).supports_continuous:
         parser.error(
             f"--backend {args.backend} has no modelled per-iteration clock "

@@ -21,6 +21,12 @@ This drain path is one of two dispatch modes: ``ServingEngine(mode=
 scheduler of :mod:`repro.serving.continuous`, which admits and retires
 requests between pipeline iterations on a deterministic simulated clock.
 The drain path is untouched by that mode and stays bit-identical.
+
+Both modes accept mixed request kinds in one trace: single attentions,
+whole-model prefills (:class:`~repro.serving.request.ForwardRequest`) and
+autoregressive decodes (:class:`~repro.serving.request.DecodeRequest`, whose
+steps cover only the newly finalized rows against a resident K/V cache) are
+batched, priced and retired through the same queue and the same clock.
 """
 
 from __future__ import annotations

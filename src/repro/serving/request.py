@@ -17,10 +17,16 @@ A :class:`ForwardRequest` is the whole-model counterpart: instead of one
 attention's Q/K/V it carries a :class:`~repro.model.spec.ModelSpec` (plus
 optional input embeddings), and one serve call prices and executes the
 entire ``L``-layer forward pass through the backend's memoised
-:class:`~repro.model.executor.ModelExecutor`.  Both request kinds share the
-scheduling protocol the batcher, engine and continuous clock rely on:
-``seq_len``, ``arrival_time``, ``request_id``, ``is_functional`` and the
-backend-independent work measure ``head_rows``.
+:class:`~repro.model.executor.ModelExecutor`.
+
+A :class:`DecodeRequest` is the autoregressive tail of that story: the
+prompt was already prefilled (its K/V is resident on the shard), and the
+request prices only the ``new_tokens`` generated rows — one row per step at
+``block_size=1``, or ``k`` rows finalized per step in the diffusion-style
+block-decode scenario (:func:`decode_block_schedule`, fixed or adaptive).
+All request kinds share the scheduling protocol the batcher, engine and
+continuous clock rely on: ``seq_len``, ``arrival_time``, ``request_id``,
+``is_functional`` and the backend-independent work measure ``head_rows``.
 
 This module also owns the seeded arrival-trace generators that stamp
 ``arrival_time`` for the continuous engine's simulated clock:
@@ -44,10 +50,13 @@ from repro.workload.generator import attention_inputs
 __all__ = [
     "AttentionRequest",
     "ForwardRequest",
+    "DecodeRequest",
     "CompletedRequest",
+    "decode_block_schedule",
     "make_request",
     "make_requests",
     "make_forward_request",
+    "make_decode_request",
     "poisson_arrivals",
     "bursty_arrivals",
     "diurnal_arrivals",
@@ -210,6 +219,165 @@ class ForwardRequest:
         return self.spec.head_rows
 
 
+def decode_block_schedule(new_tokens: int, block_size: int = 1, adaptive: bool = False):
+    """Tokens finalized per decode step, as a tuple summing to ``new_tokens``.
+
+    ``block_size=1`` is classic one-token autoregression.  A fixed
+    ``block_size=k`` finalizes ``k`` rows per step (the diffusion-style
+    parallel-decode scenario), with a short final block when ``k`` does not
+    divide ``new_tokens``.  ``adaptive=True`` ramps deterministically —
+    1, 2, 4, ... doubling up to ``block_size`` — modelling a sampler that
+    widens its block as acceptance confidence grows; no randomness, so the
+    same arguments always price the same schedule.
+    """
+    if new_tokens <= 0:
+        raise ValueError(f"new_tokens must be positive, got {new_tokens}")
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    if not adaptive:
+        full, remainder = divmod(new_tokens, block_size)
+        return tuple([block_size] * full + ([remainder] if remainder else []))
+    sizes: "list[int]" = []
+    width, remaining = 1, new_tokens
+    while remaining:
+        step = min(width, block_size, remaining)
+        sizes.append(step)
+        remaining -= step
+        width = min(width * 2, block_size)
+    return tuple(sizes)
+
+
+#: Bytes per K/V element: fp32 keys and values, matching the fp32 tensors
+#: the functional executors carry.
+_KV_ELEMENT_BYTES = 4
+
+
+@dataclass
+class DecodeRequest:
+    """One autoregressive decode submitted to the serving engine.
+
+    The prompt's forward pass already happened (a prefill
+    :class:`ForwardRequest`); this request generates ``new_tokens`` more
+    tokens with the prompt's K/V held resident on the shard.  Each step
+    covers only the newly finalized row(s) — priced positionally off the
+    model's compiled plan via
+    :meth:`~repro.model.plan.DecodePlan.span_cycles` — while the K/V
+    residency model counts one miss for loading the prompt cache and one
+    hit per subsequent step (:class:`repro.serving.cache.KVResidency`).
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.model.spec.ModelSpec` of the serving model at
+        the request's *final* context length: ``spec.seq_len ==
+        prompt_len + new_tokens``.
+    new_tokens:
+        Tokens to generate.
+    block_size:
+        Tokens finalized per decode step (``1`` = classic autoregression;
+        ``k > 1`` prices diffusion-style block decode).
+    adaptive:
+        Ramp the block width 1, 2, 4, ... up to ``block_size``
+        (:func:`decode_block_schedule`).
+    weight_seed:
+        Served-model weight seed, shared with :class:`ForwardRequest` so
+        decode reuses the same memoised model plan.
+    arrival_time:
+        Simulated-clock visibility instant (see
+        :attr:`AttentionRequest.arrival_time`).
+    request_id:
+        Monotonically increasing identifier shared with the other kinds.
+    """
+
+    spec: ModelSpec
+    new_tokens: int
+    block_size: int = 1
+    adaptive: bool = False
+    weight_seed: int = 0
+    arrival_time: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, ModelSpec):
+            raise TypeError(f"spec must be a ModelSpec, got {type(self.spec).__name__}")
+        if self.new_tokens <= 0:
+            raise ValueError(f"new_tokens must be positive, got {self.new_tokens}")
+        if self.new_tokens >= self.spec.seq_len:
+            raise ValueError(
+                f"new_tokens={self.new_tokens} leaves no prompt: spec.seq_len="
+                f"{self.spec.seq_len} must cover at least one prompt token"
+            )
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be non-negative, got {self.arrival_time}")
+        # Validates block_size/adaptive; memoised because backends key their
+        # compiled DecodePlans on it.
+        self._schedule = decode_block_schedule(self.new_tokens, self.block_size, self.adaptive)
+
+    @property
+    def seq_len(self) -> int:
+        """Final context length (prompt plus generated tokens)."""
+        return self.spec.seq_len
+
+    @property
+    def prompt_len(self) -> int:
+        """Prompt tokens whose K/V is resident before the first decode step."""
+        return self.spec.seq_len - self.new_tokens
+
+    @property
+    def num_heads(self) -> int:
+        """Attention heads per layer."""
+        return self.spec.num_heads
+
+    @property
+    def num_layers(self) -> int:
+        """Model depth."""
+        return self.spec.num_layers
+
+    @property
+    def is_functional(self) -> bool:
+        """Decode requests are analytical: they price, they don't compute."""
+        return False
+
+    @property
+    def head_rows(self) -> int:
+        """Accounted ``num_layers * num_heads * new_tokens`` decode work units.
+
+        Only the generated rows count — the prompt's rows were accounted by
+        its prefill request.
+        """
+        return self.spec.num_layers * self.spec.num_heads * self.new_tokens
+
+    @property
+    def block_schedule(self) -> "tuple[int, ...]":
+        """Tokens finalized per step; sums to ``new_tokens``."""
+        return self._schedule
+
+    @property
+    def num_steps(self) -> int:
+        """Decode steps this request takes (``len(block_schedule)``)."""
+        return len(self._schedule)
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """Resident K/V bytes one token pins across all layers (fp32 K+V)."""
+        return 2 * self.spec.hidden_dim * _KV_ELEMENT_BYTES * self.spec.num_layers
+
+    @property
+    def kv_prompt_bytes(self) -> int:
+        """Prompt-cache bytes loaded at admission (the residency miss)."""
+        return self.prompt_len * self.kv_bytes_per_token
+
+    @property
+    def kv_resident_bytes(self) -> int:
+        """Peak resident K/V footprint: prompt plus every generated token."""
+        return self.spec.seq_len * self.kv_bytes_per_token
+
+    @property
+    def kv_traffic_bytes(self) -> int:
+        """Modelled K/V bytes moved: one prompt load plus one write per new token."""
+        return self.kv_prompt_bytes + self.new_tokens * self.kv_bytes_per_token
+
+
 @dataclass(frozen=True)
 class CompletedRequest:
     """A served request plus where and how it was executed.
@@ -346,6 +514,29 @@ def make_forward_request(
     )
 
 
+def make_decode_request(
+    spec: ModelSpec,
+    new_tokens: int,
+    block_size: int = 1,
+    adaptive: bool = False,
+    arrival_time: float = 0.0,
+    weight_seed: int = 0,
+) -> DecodeRequest:
+    """Build one decode request generating ``new_tokens`` on ``spec``'s context.
+
+    ``spec.seq_len`` is the final context length; the prompt length is
+    ``spec.seq_len - new_tokens`` and must leave at least one prompt token.
+    """
+    return DecodeRequest(
+        spec=spec,
+        new_tokens=new_tokens,
+        block_size=block_size,
+        adaptive=adaptive,
+        weight_seed=weight_seed,
+        arrival_time=arrival_time,
+    )
+
+
 # --------------------------------------------------------------------- #
 # Seeded arrival traces (simulated seconds, no wall-clock anywhere)
 # --------------------------------------------------------------------- #
@@ -383,8 +574,13 @@ def bursty_arrivals(
         raise ValueError(f"count must be non-negative, got {count}")
     if burst_size <= 0:
         raise ValueError(f"burst_size must be positive, got {burst_size}")
-    if burst_gap < 0:
-        raise ValueError(f"burst_gap must be non-negative, got {burst_gap}")
+    if burst_gap <= 0:
+        raise ValueError(
+            f"burst_gap must be positive, got {burst_gap} "
+            f"(a zero gap collapses every burst onto one instant)"
+        )
+    if jitter < 0:
+        raise ValueError(f"jitter must be non-negative, got {jitter}")
     rng = np.random.default_rng(seed)
     offsets = rng.exponential(jitter, size=count) if jitter > 0 else np.zeros(count)
     return [
@@ -407,7 +603,10 @@ def diurnal_arrivals(
     The instantaneous rate follows the day/night curve
     ``rate(t) = mean_rate * (1 + amplitude * sin(2 * pi * t / period + phase))``
     — peaks at ``(1 + amplitude)`` times the mean, troughs at
-    ``(1 - amplitude)`` times (``amplitude=1.0`` goes fully silent overnight).
+    ``(1 - amplitude)`` times.  ``amplitude`` must stay strictly below 1:
+    at exactly 1 the trough rate hits zero, the cumulative rate plateaus,
+    and inverting the time change degenerates (nearly-quiet nights are
+    expressed with e.g. ``amplitude=0.99``).
     Sampling inverts the integrated rate: seeded unit-exponential gaps are
     cumulated into event targets of a unit-rate process, then mapped back
     through the closed-form cumulative rate on a dense grid, which is the
@@ -424,8 +623,12 @@ def diurnal_arrivals(
         raise ValueError(f"mean_rate must be positive, got {mean_rate}")
     if period <= 0:
         raise ValueError(f"period must be positive, got {period}")
-    if not 0.0 <= amplitude <= 1.0:
-        raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError(
+            f"amplitude must be in [0, 1), got {amplitude} "
+            f"(amplitude=1 zeroes the overnight rate and degenerates the "
+            f"time-change inversion)"
+        )
     if count == 0:
         return []
     rng = np.random.default_rng(seed)

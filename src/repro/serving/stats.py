@@ -16,7 +16,7 @@ from math import ceil
 
 from repro.analysis.report import Table
 
-__all__ = ["BatchRecord", "ServingStats", "percentile"]
+__all__ = ["BatchRecord", "ServingStats", "decode_token_intervals", "percentile"]
 
 
 def percentile(values: "list[float]", q: float) -> float:
@@ -40,6 +40,41 @@ def percentile(values: "list[float]", q: float) -> float:
     position = q / 100.0 * len(ordered) - 1.0  # float, exactly as numpy evaluates it
     rank = min(len(ordered) - 1, max(0, ceil(position)))
     return ordered[rank]
+
+
+def decode_token_intervals(
+    block_times: "tuple[float, ...]",
+    block_sizes: "tuple[int, ...]",
+    arrival_time: float,
+) -> "tuple[float, list[float]]":
+    """Per-token latency samples of one decode: ``(ttft, inter-token gaps)``.
+
+    ``block_times`` holds the simulated completion time of each decode block
+    (one entry per ``block_sizes`` entry).  TTFT is the wait from arrival to
+    the *first block* finalising — the first token cannot appear earlier.
+    Token emission times repeat each block's completion time ``k`` times (a
+    block finalises its k tokens together), so the inter-token gaps of a
+    block-decode run are zero within a block and the block's own latency at
+    its boundary — exactly the signature the block-size knob is meant to
+    surface.
+    """
+    if len(block_times) != len(block_sizes):
+        raise ValueError(
+            f"block_times and block_sizes must line up, "
+            f"got {len(block_times)} != {len(block_sizes)}"
+        )
+    if not block_times:
+        raise ValueError("a decode emits at least one block")
+    ttft = block_times[0] - arrival_time
+    gaps: "list[float]" = []
+    previous = block_times[0]
+    for time, size in zip(block_times, block_sizes):
+        for index in range(size):
+            gaps.append(time - previous)
+            previous = time
+    # Drop the leading self-gap of the first token: its latency is the TTFT,
+    # leaving exactly (total tokens - 1) inter-token gaps.
+    return ttft, gaps[1:]
 
 
 @dataclass(frozen=True)
@@ -103,6 +138,19 @@ class ServingStats:
         the TTFT analogue of this serving model).
     latency_p50_seconds, latency_p95_seconds:
         Percentiles of simulated arrival-to-completion request latency.
+    num_decode_requests, decode_tokens:
+        Decode volume of the run: retired :class:`DecodeRequest`\\ s and the
+        new tokens they generated.
+    kv_hits, kv_misses:
+        :class:`~repro.serving.cache.KVResidency` counters — one miss per
+        decode admission (prompt K/V load), one hit per subsequent decode
+        step against the resident cache.
+    ttft_p50_seconds, ttft_p95_seconds:
+        Percentiles of decode time-to-first-token: arrival to the first
+        decode block finalising on the simulated clock.
+    inter_token_p50_seconds, inter_token_p95_seconds:
+        Percentiles of the per-token emission gaps across all decodes
+        (block decode emits k tokens at once, so within-block gaps are 0).
     """
 
     backend: str
@@ -125,6 +173,14 @@ class ServingStats:
     queue_p95_seconds: float = 0.0
     latency_p50_seconds: float = 0.0
     latency_p95_seconds: float = 0.0
+    num_decode_requests: int = 0
+    decode_tokens: int = 0
+    kv_hits: int = 0
+    kv_misses: int = 0
+    ttft_p50_seconds: float = 0.0
+    ttft_p95_seconds: float = 0.0
+    inter_token_p50_seconds: float = 0.0
+    inter_token_p95_seconds: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -169,6 +225,19 @@ class ServingStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def tokens_per_second(self) -> float:
+        """Decode throughput: generated tokens per second of pool makespan."""
+        if self.device_makespan_seconds <= 0:
+            return 0.0
+        return self.decode_tokens / self.device_makespan_seconds
+
+    @property
+    def kv_hit_rate(self) -> float:
+        """KV-residency hit fraction across all decode steps of the run."""
+        total = self.kv_hits + self.kv_misses
+        return self.kv_hits / total if total else 0.0
+
     def to_table(self, title: "str | None" = None) -> Table:
         """Render the stats as a (metric, value) table.
 
@@ -192,6 +261,19 @@ class ServingStats:
                     "latency p95 [s]": self.latency_p95_seconds,
                 }
             )
+            if self.num_decode_requests > 0:
+                rows.update(
+                    {
+                        "decode requests": self.num_decode_requests,
+                        "decode tokens": self.decode_tokens,
+                        "tokens/sec (device)": self.tokens_per_second,
+                        "TTFT p50 [s]": self.ttft_p50_seconds,
+                        "TTFT p95 [s]": self.ttft_p95_seconds,
+                        "inter-token p50 [s]": self.inter_token_p50_seconds,
+                        "inter-token p95 [s]": self.inter_token_p95_seconds,
+                        "KV-residency hit rate": self.kv_hit_rate,
+                    }
+                )
         else:
             rows.update(
                 {

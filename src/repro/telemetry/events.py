@@ -20,6 +20,12 @@ several runs (e.g. :func:`~repro.serving.continuous.compare_modes` streams
 its continuous run as ``run_id=0`` and its drain run as ``run_id=1``);
 :class:`~repro.telemetry.replay.TraceReplayer` selects one run to fold.
 Version-1 records deserialise unchanged with ``run_id=0``.
+
+Schema version 3 adds :class:`RequestDecoded` — the per-token accounting of
+one retired decode (block completion times on the simulated clock), from
+which the replayer reconstructs TTFT/inter-token percentiles, token counts
+and the KV-residency hit/miss split.  Version-1/2 records still deserialise;
+their runs simply carry no decode accounting.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ __all__ = [
     "RunFinished",
     "RequestArrived",
     "RequestAdmitted",
+    "RequestDecoded",
     "RequestRetired",
     "RequestCancelled",
     "BatchDispatched",
@@ -48,10 +55,10 @@ __all__ = [
 ]
 
 #: Version stamped into every serialised record; bumped on any field change.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Schema versions :func:`from_record` can still deserialise.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -114,6 +121,32 @@ class RequestAdmitted(Event):
     admit_time: float
     #: Residents on the shard right after admission (drain: the batch size).
     residency: int
+
+
+@dataclass(frozen=True)
+class RequestDecoded(Event):
+    """A decode request retired; carries its per-token clock accounting.
+
+    Emitted immediately before the decode's ``request_retired`` event, in
+    the engine's retirement order.  ``block_times`` holds the simulated
+    completion time of each decode block (lined up with ``block_sizes``, the
+    request's block schedule), which is a sufficient statistic for TTFT and
+    the inter-token gaps — and, with the KV-residency convention of one miss
+    per admission plus one hit per post-first block, for the cache split.
+    """
+
+    kind: ClassVar[str] = "request_decoded"
+    request_id: int
+    new_tokens: int
+    block_sizes: "tuple[int, ...]"
+    block_times: "tuple[float, ...]"
+    arrival_time: float
+
+    def __post_init__(self):
+        # JSON round-trips tuples as lists; normalise so a deserialised
+        # event compares equal to the emitted one.
+        object.__setattr__(self, "block_sizes", tuple(self.block_sizes))
+        object.__setattr__(self, "block_times", tuple(self.block_times))
 
 
 @dataclass(frozen=True)
@@ -231,6 +264,7 @@ EVENT_TYPES: "dict[str, type[Event]]" = {
         RunStarted,
         RequestArrived,
         RequestAdmitted,
+        RequestDecoded,
         RequestRetired,
         RequestCancelled,
         BatchDispatched,

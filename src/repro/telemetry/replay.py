@@ -21,13 +21,14 @@ from __future__ import annotations
 
 from statistics import mean
 
-from repro.serving.stats import ServingStats, percentile
+from repro.serving.stats import ServingStats, decode_token_intervals, percentile
 from repro.telemetry.events import (
     BatchDispatched,
     Event,
     IterationAdvanced,
     PlanCacheLookup,
     RequestArrived,
+    RequestDecoded,
     RequestRetired,
     RunFinished,
     RunStarted,
@@ -65,6 +66,12 @@ class TraceReplayer:
         self._finish_times: "list[float]" = []
         self._cache_hits = 0
         self._cache_misses = 0
+        self._num_decodes = 0
+        self._decode_tokens = 0
+        self._kv_hits = 0
+        self._kv_misses = 0
+        self._ttfts: "list[float]" = []
+        self._token_gaps: "list[float]" = []
 
     def feed(self, event: Event) -> None:
         """Fold one event into the running aggregation (skipping other runs)."""
@@ -98,6 +105,18 @@ class TraceReplayer:
             self._shard_busy[event.shard] += event.device_seconds
             self._total_energy += event.energy_joules
             self._batch_head_rows += event.head_rows
+        elif isinstance(event, RequestDecoded):
+            self._num_decodes += 1
+            self._decode_tokens += event.new_tokens
+            # The engine's residency convention: one miss at admission (the
+            # prompt K/V load), one hit per decode block after the first.
+            self._kv_misses += 1
+            self._kv_hits += len(event.block_times) - 1
+            ttft, gaps = decode_token_intervals(
+                event.block_times, event.block_sizes, event.arrival_time
+            )
+            self._ttfts.append(ttft)
+            self._token_gaps.extend(gaps)
         elif isinstance(event, RequestRetired):
             self._queue_waits.append(event.admit_time - event.arrival_time)
             self._latencies.append(event.finish_time - event.arrival_time)
@@ -148,6 +167,14 @@ class TraceReplayer:
                 queue_p95_seconds=percentile(self._queue_waits, 95.0),
                 latency_p50_seconds=percentile(self._latencies, 50.0),
                 latency_p95_seconds=percentile(self._latencies, 95.0),
+                num_decode_requests=self._num_decodes,
+                decode_tokens=self._decode_tokens,
+                kv_hits=self._kv_hits,
+                kv_misses=self._kv_misses,
+                ttft_p50_seconds=percentile(self._ttfts, 50.0),
+                ttft_p95_seconds=percentile(self._ttfts, 95.0),
+                inter_token_p50_seconds=percentile(self._token_gaps, 50.0),
+                inter_token_p95_seconds=percentile(self._token_gaps, 95.0),
             )
         return ServingStats(
             backend=run.backend,
@@ -198,6 +225,12 @@ def verify_log(path, run_id: "int | None" = None) -> "list[str]":
     for field_name in sorted(set(recorded) | set(reconstructed)):
         got = reconstructed.get(field_name)
         want = recorded.get(field_name)
+        if field_name not in recorded and not got:
+            # Stats fields added after the log was written (e.g. the decode
+            # fields of schema v3 replaying a v2 log): a zero/absent value
+            # reconstructed from a log that never recorded the field is
+            # forward-compatibility, not a mismatch.
+            continue
         if got != want:
             mismatches.append(f"{field_name}: replayed {got!r} != recorded {want!r}")
     return mismatches

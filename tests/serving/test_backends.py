@@ -229,26 +229,53 @@ class TestStepBurst:
         looped = AttentionBackend.step_burst(backend, slices, primed, iteration_rows)
         self._assert_bursts_equal(vectorized, looped)
 
-    def test_forward_slice_falls_back_to_looped_default(self):
-        """Whole-model forwards have no closed form: the SWAT override defers."""
+    @staticmethod
+    def _mixed_slices(backend, config, rows_done=(0, 16, 5, 0)):
+        """One slice of each request kind, mid-flight at ``rows_done``."""
         from repro.model import ModelSpec
-        from repro.serving.request import make_forward_request
+        from repro.serving.request import make_decode_request, make_forward_request
 
-        config = _config()
-        spec = ModelSpec.uniform(
-            2, 24, window_tokens=8, num_heads=2, head_dim=config.head_dim
-        )
-        backend = create_backend("analytical", config=config, plan_cache=PlanCache())
-        forward = make_forward_request(spec, functional=False)
-        attention = AttentionRequest(seq_len=48)
-        slices = [
-            (forward, 0, backend.request_rows(forward)),
-            (attention, 0, backend.request_rows(attention)),
+        spec = ModelSpec.uniform(2, 24, window_tokens=8, num_heads=2, head_dim=config.head_dim)
+        requests = [
+            make_forward_request(spec, functional=False),
+            AttentionRequest(seq_len=48),
+            make_decode_request(spec, new_tokens=8, block_size=4),
+            make_decode_request(spec, new_tokens=6, block_size=4, adaptive=True),
         ]
-        for primed in (False, True):
-            burst = backend.step_burst(slices, primed, 16)
-            looped = AttentionBackend.step_burst(backend, slices, primed, 16)
-            self._assert_bursts_equal(burst, looped)
+        return [
+            (request, done, backend.request_rows(request) - done)
+            for request, done in zip(requests, rows_done)
+        ]
+
+    @pytest.mark.parametrize("name", CONTINUOUS_BACKENDS)
+    @pytest.mark.parametrize("primed", [False, True])
+    @pytest.mark.parametrize("iteration_rows", [1, 7, 16, 1000])
+    def test_mixed_kind_burst_matches_looped_default(self, name, primed, iteration_rows):
+        """Forward and decode slices are priced closed-form, bit-exactly.
+
+        PR 7 left these slices falling back to the looped ``step`` default;
+        the burst path now covers every request kind with no fallback.
+        """
+        config = _config()
+        backend = create_backend(name, config=config, plan_cache=PlanCache())
+        slices = self._mixed_slices(backend, config)
+        vectorized = backend.step_burst(slices, primed, iteration_rows)
+        looped = AttentionBackend.step_burst(backend, slices, primed, iteration_rows)
+        self._assert_bursts_equal(vectorized, looped)
+
+    @pytest.mark.parametrize("name", CONTINUOUS_BACKENDS)
+    def test_mixed_kind_burst_never_loops_step(self, name, monkeypatch):
+        """No backend falls back to per-iteration ``step`` calls for any kind."""
+        config = _config()
+        backend = create_backend(name, config=config, plan_cache=PlanCache())
+        slices = self._mixed_slices(backend, config)
+
+        def _no_step(*args, **kwargs):  # pragma: no cover - the assertion
+            raise AssertionError("step_burst fell back to a looped step()")
+
+        monkeypatch.setattr(backend, "step", _no_step)
+        burst = backend.step_burst(slices, False, 16)
+        assert burst.iterations == len(burst.seconds)
 
     @pytest.mark.parametrize("name", CONTINUOUS_BACKENDS)
     def test_burst_validation(self, name):

@@ -236,16 +236,35 @@ class TestDeterminism:
             diurnal_arrivals(4, mean_rate=0.0, period=1.0)
 
     def test_diurnal_arrivals_cluster_in_the_daytime_half(self):
-        # rate(t) = mean * (1 + sin(2 pi t / period)): with full modulation,
-        # the rising half of each cycle must hold far more arrivals than the
-        # overnight trough half.
+        # rate(t) = mean * (1 + sin(2 pi t / period)): with near-full
+        # modulation, the rising half of each cycle must hold far more
+        # arrivals than the overnight trough half.
         period = 2.0
         arrivals = diurnal_arrivals(
-            512, mean_rate=256.0, period=period, amplitude=1.0, seed=1
+            512, mean_rate=256.0, period=period, amplitude=0.95, seed=1
         )
         day = sum(1 for instant in arrivals if (instant % period) < period / 2)
         night = len(arrivals) - day
         assert day > 3 * night
+
+    def test_degenerate_arrival_parameters_rejected(self):
+        # amplitude=1 zeroes the trough rate: the cumulative rate plateaus
+        # and its inversion degenerates, so exactly 1.0 is out of domain.
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_arrivals(4, mean_rate=1.0, period=1.0, amplitude=1.0)
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_arrivals(4, mean_rate=1.0, period=1.0, amplitude=-0.1)
+        # The [0, 1) boundary itself stays valid.
+        assert len(diurnal_arrivals(4, mean_rate=1.0, period=1.0, amplitude=0.0)) == 4
+        assert len(diurnal_arrivals(4, mean_rate=1.0, period=1.0, amplitude=0.999)) == 4
+        with pytest.raises(ValueError, match="jitter"):
+            bursty_arrivals(4, burst_size=2, burst_gap=0.5, jitter=-0.01)
+        with pytest.raises(ValueError, match="burst_gap"):
+            bursty_arrivals(4, burst_size=2, burst_gap=0.0)
+        with pytest.raises(ValueError, match="burst_gap"):
+            bursty_arrivals(4, burst_size=2, burst_gap=-1.0)
+        with pytest.raises(ValueError, match="burst_size"):
+            bursty_arrivals(4, burst_size=0, burst_gap=0.5)
 
 
 class TestSchedulerEquivalence:

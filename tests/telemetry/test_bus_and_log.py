@@ -1,11 +1,13 @@
 """EventBus semantics and the JSONL writer/reader pair."""
 
+import json
 import threading
+import time
 
 import pytest
 
 from repro.telemetry.bus import NULL_BUS, EventBus
-from repro.telemetry.events import QueueDepth, RequestArrived
+from repro.telemetry.events import QueueDepth, RequestArrived, to_record
 from repro.telemetry.log import EventLogReader, EventLogWriter
 
 
@@ -116,3 +118,75 @@ class TestEventLog:
         writer.close()
         assert not thread.is_alive()
         assert [event.depth for event in seen] == [1, 2]
+
+    def test_tail_of_empty_log_waits_without_yielding(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        polls = []
+
+        def stop():
+            polls.append(True)
+            return len(polls) >= 3
+
+        seen = list(EventLogReader(path).tail(poll_interval=0.001, stop=stop))
+        assert seen == []
+        assert len(polls) == 3
+
+    def test_tail_holds_back_partial_line_until_completed(self, tmp_path):
+        """A writer crash (or flush) mid-line must not yield a broken record.
+
+        The tail seeks back to the start of any line that does not yet end in
+        a newline and re-reads it on the next poll, so the half-written JSON
+        is only ever parsed once the line is whole.
+        """
+        path = tmp_path / "events.jsonl"
+        whole = json.dumps(to_record(QueueDepth(depth=1, time=0.0)), separators=(",", ":"))
+        fragment = json.dumps(to_record(QueueDepth(depth=2, time=1.0)), separators=(",", ":"))
+        cut = len(fragment) // 2
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(whole + "\n" + fragment[:cut])
+
+        reader = EventLogReader(path)
+        seen = []
+
+        def consume():
+            for event in reader.tail(poll_interval=0.001, stop=lambda: len(seen) >= 2):
+                seen.append(event)
+                if len(seen) >= 2:
+                    break
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        # Let the tail reach (and refuse) the partial line, then finish it
+        # the way a resumed writer would: the rest of the bytes plus newline.
+        time.sleep(0.05)
+        assert [event.depth for event in seen] == [1]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(fragment[cut:] + "\n")
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert [event.depth for event in seen] == [1, 2]
+
+    def test_tail_while_writer_appends_concurrently(self, tmp_path):
+        """Appends racing the tail are seen exactly once, in order."""
+        path = tmp_path / "events.jsonl"
+        writer = EventLogWriter(path)
+        total = 200
+        seen = []
+
+        def consume():
+            for event in EventLogReader(path).tail(
+                poll_interval=0.001, stop=lambda: len(seen) >= total
+            ):
+                seen.append(event)
+                if len(seen) >= total:
+                    break
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        for depth in range(total):
+            writer(QueueDepth(depth=depth, time=float(depth)))
+        thread.join(timeout=10)
+        writer.close()
+        assert not thread.is_alive()
+        assert [event.depth for event in seen] == list(range(total))

@@ -12,6 +12,7 @@ from repro.telemetry.events import (
     RequestAdmitted,
     RequestArrived,
     RequestCancelled,
+    RequestDecoded,
     RequestRetired,
     RunFinished,
     RunStarted,
@@ -33,6 +34,13 @@ EXAMPLES = [
     ),
     RequestArrived(request_id=7, seq_len=256, head_rows=512, arrival_time=0.125),
     RequestAdmitted(request_id=7, shard=1, admit_time=0.25, residency=3),
+    RequestDecoded(
+        request_id=7,
+        new_tokens=8,
+        block_sizes=(1, 2, 4, 1),
+        block_times=(0.25, 0.3125, 0.375, 0.4375),
+        arrival_time=0.125,
+    ),
     RequestRetired(
         request_id=7,
         shard=1,
@@ -90,6 +98,23 @@ class TestRoundTrip:
         event = QueueDepth(depth=1, time=value)
         restored = from_record(json.loads(json.dumps(to_record(event))))
         assert restored.time == value  # bit-identical, not approx
+
+    def test_decode_tuples_survive_json_as_tuples(self):
+        import json
+
+        event = RequestDecoded(
+            request_id=1,
+            new_tokens=3,
+            block_sizes=(1, 2),
+            block_times=(0.5, 0.75),
+            arrival_time=0.25,
+        )
+        restored = from_record(json.loads(json.dumps(to_record(event))))
+        # JSON lowers tuples to lists; deserialisation must restore them so
+        # replayed events compare equal to emitted ones.
+        assert restored == event
+        assert isinstance(restored.block_sizes, tuple)
+        assert isinstance(restored.block_times, tuple)
 
     def test_none_cycles_survive(self):
         event = IterationAdvanced(
